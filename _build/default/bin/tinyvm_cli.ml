@@ -1,0 +1,236 @@
+(** The TinyVM command-line interface: inspect, optimize, run, and OSR the
+    corpus kernels or IR files — the workflow of the paper's TinyVM
+    artifact (Section 6.1).
+
+    {v
+      tinyvm list
+      tinyvm show bzip2 --opt
+      tinyvm run bzip2 -a 48 -a 12345 --opt
+      tinyvm opt file.ir
+      tinyvm osr-points bzip2 --backward
+      tinyvm osr-run bzip2 --at 31 --arrival 2
+      tinyvm debug-study sjeng
+    v} *)
+
+module Ir = Miniir.Ir
+module P = Passes.Pass_manager
+module Ctx = Osrir.Osr_ctx
+module F = Osrir.Feasibility
+module R = Osrir.Reconstruct_ir
+module Interp = Tinyvm.Interp
+
+open Cmdliner
+
+let kernel_conv : Corpus.Kernels.entry Arg.conv =
+  let parse s =
+    match Corpus.Kernels.find s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %S (try: %s)" s
+               (String.concat ", "
+                  (List.map (fun (e : Corpus.Kernels.entry) -> e.benchmark) Corpus.Kernels.all))))
+  in
+  let print ppf (e : Corpus.Kernels.entry) = Format.pp_print_string ppf e.benchmark in
+  Arg.conv (parse, print)
+
+let bench_arg = Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"BENCHMARK")
+
+let opt_flag =
+  Arg.(value & flag & info [ "opt" ] ~doc:"Operate on the optimized version (fopt).")
+
+let backward_flag =
+  Arg.(
+    value & flag
+    & info [ "backward" ] ~doc:"Deoptimization direction (fopt → fbase) instead of forward.")
+
+let args_opt =
+  Arg.(
+    value & opt_all int []
+    & info [ "a"; "arg" ] ~docv:"N" ~doc:"Function argument (repeatable; default: the kernel's)")
+
+let prepare (e : Corpus.Kernels.entry) =
+  let fbase, dbg = Corpus.Dsl.to_fbase e.kernel in
+  let r = P.apply fbase in
+  (r, dbg)
+
+(* --- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Corpus.Kernels.entry) ->
+        let fbase, _ = Corpus.Dsl.to_fbase e.kernel in
+        Printf.printf "%-12s %-22s %-14s |fbase|=%4d  args: %s\n" e.benchmark e.kernel.kname
+          e.suite (Ir.instr_count fbase)
+          (String.concat " " (List.map string_of_int e.default_args)))
+      Corpus.Kernels.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels.") Term.(const run $ const ())
+
+(* --- show ----------------------------------------------------------- *)
+
+let show_cmd =
+  let run entry opt =
+    let r, _ = prepare entry in
+    print_string (Ir.func_to_string (if opt then r.P.fopt else r.P.fbase))
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a kernel's IR (fbase, or fopt with --opt).")
+    Term.(const run $ bench_arg $ opt_flag)
+
+(* --- run ------------------------------------------------------------ *)
+
+let run_cmd =
+  let run (entry : Corpus.Kernels.entry) opt args =
+    let r, _ = prepare entry in
+    let f = if opt then r.P.fopt else r.P.fbase in
+    let args = if args = [] then entry.default_args else args in
+    match Interp.run f ~args with
+    | Ok o ->
+        Printf.printf "ret %d  (%d steps, %d observable events)\n" o.ret o.steps
+          (List.length o.events);
+        List.iter
+          (fun (ev : Interp.event) ->
+            Printf.printf "  @%s(%s)\n" ev.callee
+              (String.concat ", " (List.map string_of_int ev.arg_values)))
+          o.events
+    | Error t -> Fmt.pr "trap: %a@." Interp.pp_trap t
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a kernel in the TinyVM.")
+    Term.(const run $ bench_arg $ opt_flag $ args_opt)
+
+(* --- opt (file) ------------------------------------------------------ *)
+
+let opt_cmd =
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ir") in
+  let run path =
+    let src = In_channel.with_open_text path In_channel.input_all in
+    let f = Miniir.Ir_parser.parse_func src in
+    Miniir.Verifier.verify_exn f;
+    let r = P.apply f in
+    print_string (Ir.func_to_string r.P.fopt);
+    Printf.printf "; actions: %d\n"
+      (List.length (Passes.Code_mapper.actions_in_order r.P.mapper))
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Parse an IR file, run the optimization pipeline, print the result.")
+    Term.(const run $ file_arg)
+
+(* --- osr-points ------------------------------------------------------ *)
+
+let osr_points_cmd =
+  let run (entry : Corpus.Kernels.entry) backward =
+    let r, _ = prepare entry in
+    let dir = if backward then Ctx.Opt_to_base else Ctx.Base_to_opt in
+    let ctx = Ctx.make ~fbase:r.P.fbase ~fopt:r.P.fopt ~mapper:r.P.mapper dir in
+    let s = F.analyze ctx in
+    Printf.printf "%s, %s: %d points — %d with empty c, %d live-feasible, %d avail-feasible\n"
+      entry.benchmark
+      (if backward then "fopt → fbase" else "fbase → fopt")
+      s.total_points s.empty s.live_ok s.avail_ok;
+    List.iter
+      (fun (rep : F.point_report) ->
+        let status =
+          match rep.classification with
+          | F.Empty -> "empty"
+          | F.With_live p -> Printf.sprintf "live |c|=%d" (R.comp_size p)
+          | F.With_avail p ->
+              Printf.sprintf "avail |c|=%d keep=%d" (R.comp_size p) (List.length p.keep)
+          | F.Infeasible -> "infeasible"
+        in
+        Printf.printf "  #%-4d -> %-6s %s\n" rep.point
+          (match rep.landing with Some l -> "#" ^ string_of_int l | None -> "-")
+          status)
+      s.reports
+  in
+  Cmd.v
+    (Cmd.info "osr-points" ~doc:"Per-point OSR feasibility for a kernel.")
+    Term.(const run $ bench_arg $ backward_flag)
+
+(* --- osr-run --------------------------------------------------------- *)
+
+let osr_run_cmd =
+  let at_arg =
+    Arg.(
+      required & opt (some int) None
+      & info [ "at" ] ~docv:"ID" ~doc:"Source instruction id where the transition fires.")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "arrival" ] ~docv:"K" ~doc:"Fire on the K-th dynamic arrival (default 0).")
+  in
+  let run (entry : Corpus.Kernels.entry) backward args at arrival =
+    let r, _ = prepare entry in
+    let args = if args = [] then entry.default_args else args in
+    let src, target, dir =
+      if backward then (r.P.fopt, r.P.fbase, Ctx.Opt_to_base)
+      else (r.P.fbase, r.P.fopt, Ctx.Base_to_opt)
+    in
+    let ctx = Ctx.make ~fbase:r.P.fbase ~fopt:r.P.fopt ~mapper:r.P.mapper dir in
+    match Ctx.landing_point ctx at with
+    | None -> Printf.eprintf "point #%d has no landing correspondence\n" at
+    | Some landing -> (
+        match R.for_point_pair ~variant:R.Avail ctx ~src_point:at ~landing with
+        | Error x -> Printf.eprintf "reconstruction fails on %%%s\n" x
+        | Ok plan ->
+            Printf.printf "transition #%d -> #%d: %d transfers, |c|=%d, keep={%s}\n" at
+              landing (List.length plan.transfers) (R.comp_size plan)
+              (String.concat ", " plan.keep);
+            let reference = Interp.run src ~args in
+            let osr =
+              Osrir.Osr_runtime.run_transition ~arrival ~src ~args ~at ~target ~landing plan
+            in
+            Fmt.pr "reference : %a@." Interp.pp_result reference;
+            Fmt.pr "with OSR  : %a@." Interp.pp_result osr;
+            Fmt.pr "observably equal: %b@." (Interp.equal_result reference osr))
+  in
+  Cmd.v
+    (Cmd.info "osr-run" ~doc:"Run a kernel, firing an OSR transition at a chosen point.")
+    Term.(const run $ bench_arg $ backward_flag $ args_opt $ at_arg $ arrival_arg)
+
+(* --- debug-study ------------------------------------------------------ *)
+
+let debug_study_cmd =
+  let bench_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in
+  let run name =
+    match Corpus.Spec_c.find name with
+    | None ->
+        Printf.eprintf "unknown study benchmark %S (try: %s)\n" name
+          (String.concat ", "
+             (List.map (fun (p : Corpus.Spec_c.profile) -> p.bench) Corpus.Spec_c.profiles))
+    | Some prof ->
+        List.iteri
+          (fun k (sf : Corpus.Spec_c.study_func) ->
+            let r = P.apply sf.fbase in
+            let rep =
+              Debuginfo.Endangered.analyze_function ~fbase:r.P.fbase ~fopt:r.P.fopt
+                ~mapper:r.P.mapper ~user_vars:sf.dbg.user_vars
+                ~source_points:sf.dbg.source_points
+            in
+            let show which =
+              match Debuginfo.Endangered.recoverability rep which with
+              | Some x -> Printf.sprintf "%.2f" x
+              | None -> "-"
+            in
+            Printf.printf
+              "fn%03d |fbase|=%4d points=%3d affected=%.2f recover(live)=%s recover(avail)=%s keep=%d\n"
+              k rep.base_size (List.length rep.points)
+              (Debuginfo.Endangered.affected_fraction rep)
+              (show `Live) (show `Avail)
+              (List.length (Debuginfo.Endangered.keep_set rep)))
+          (Corpus.Spec_c.functions_of prof)
+  in
+  Cmd.v
+    (Cmd.info "debug-study" ~doc:"Section 7 endangered-variable study for one benchmark group.")
+    Term.(const run $ bench_name)
+
+let () =
+  let doc = "TinyVM: MiniIR optimizer, interpreter and OSR playground" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "tinyvm" ~doc)
+          [ list_cmd; show_cmd; run_cmd; opt_cmd; osr_points_cmd; osr_run_cmd; debug_study_cmd ]))

@@ -1,0 +1,1 @@
+examples/debug_optimized.ml: Corpus Debuginfo Hashtbl List Miniir Option Osrir Passes Printf String Tinyvm

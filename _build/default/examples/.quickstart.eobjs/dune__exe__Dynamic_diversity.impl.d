@@ -1,0 +1,1 @@
+examples/dynamic_diversity.ml: Corpus Fmt List Miniir Option Osrir Passes Printf Random Tinyvm

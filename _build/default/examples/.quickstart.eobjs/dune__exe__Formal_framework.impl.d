@@ -1,0 +1,1 @@
+examples/formal_framework.ml: Ctl Fmt List Minilang Osr Printf Rewrite

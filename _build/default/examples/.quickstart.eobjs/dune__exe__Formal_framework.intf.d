@@ -1,0 +1,1 @@
+examples/formal_framework.mli:

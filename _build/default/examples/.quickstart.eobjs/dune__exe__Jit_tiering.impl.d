@@ -1,0 +1,1 @@
+examples/jit_tiering.ml: Corpus Fmt List Miniir Option Osrir Passes Printf String Tinyvm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Miniir Osrir Passes Printf Tinyvm

@@ -1,0 +1,1 @@
+lib/cfg/avail_exprs.ml: Cfg Dataflow List Minilang String

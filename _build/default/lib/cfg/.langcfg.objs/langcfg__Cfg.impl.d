@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Fmt List Minilang

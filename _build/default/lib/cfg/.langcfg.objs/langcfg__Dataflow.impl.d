@@ -1,0 +1,1 @@
+lib/cfg/dataflow.ml: Array Cfg List Minilang Queue

@@ -1,0 +1,1 @@
+lib/cfg/definedness.ml: Cfg Dataflow List Minilang String

@@ -1,0 +1,1 @@
+lib/cfg/dominance.ml: Cfg Dataflow Int List Minilang

@@ -1,0 +1,1 @@
+lib/cfg/live_vars.ml: Cfg Definedness List Liveness Minilang String

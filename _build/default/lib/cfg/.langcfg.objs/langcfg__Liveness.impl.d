@@ -1,0 +1,1 @@
+lib/cfg/liveness.ml: Cfg Dataflow List Minilang String

@@ -1,0 +1,1 @@
+lib/cfg/reaching_defs.ml: Cfg Dataflow List Minilang String

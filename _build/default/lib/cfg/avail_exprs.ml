@@ -1,0 +1,58 @@
+(** Available-expressions analysis: an expression [e] is available at point
+    [l] if on every path from the entry to [l] it has been computed and none
+    of its constituents redefined since.  Used by the [avail] variant of
+    [reconstruct] to decide which already-computed values can be kept alive
+    (Section 5.2). *)
+
+type avail = { expr : Minilang.Ast.expr; holder : Minilang.Ast.var; def_point : int }
+(** [holder] is the variable the expression's value was assigned to at
+    [def_point]. *)
+
+module Problem = struct
+  type fact = avail
+
+  let compare_fact a b = compare (a.expr, a.holder, a.def_point) (b.expr, b.holder, b.def_point)
+
+  let direction = `Forward
+  let meet = `Intersection
+
+  let kills_var (x : Minilang.Ast.var) (a : avail) =
+    String.equal a.holder x || Minilang.Ast.freevar x a.expr
+
+  let transfer p l incoming =
+    match Minilang.Ast.instr_at p l with
+    | Assign (x, e) ->
+        let survives a = not (kills_var x a) in
+        let kept = List.filter survives incoming in
+        (* x := e makes e available in x unless e mentions x itself. *)
+        if Minilang.Ast.freevar x e then kept else { expr = e; holder = x; def_point = l } :: kept
+    | In xs -> List.filter (fun a -> not (List.exists (fun x -> kills_var x a) xs)) incoming
+    | If _ | Goto _ | Skip | Abort | Out _ -> incoming
+
+  let boundary _ = []
+
+  let universe p =
+    let n = Minilang.Ast.length p in
+    let acc = ref [] in
+    for l = 1 to n do
+      match Minilang.Ast.instr_at p l with
+      | Assign (x, e) when not (Minilang.Ast.freevar x e) ->
+          acc := { expr = e; holder = x; def_point = l } :: !acc
+      | _ -> ()
+    done;
+    !acc
+end
+
+module Solver = Dataflow.Solve (Problem)
+
+type t = { result : Solver.result }
+
+let analyze (g : Cfg.t) : t = { result = Solver.run g }
+
+(** Expressions available at point [l] (before [I_l]). *)
+let avail_at (t : t) (l : int) : avail list = t.result.before l
+
+(** Variables whose {e current} value is guaranteed to equal the value their
+    defining expression produced — candidates to keep alive for OSR. *)
+let holders_at (t : t) (l : int) : Minilang.Ast.var list =
+  List.sort_uniq String.compare (List.map (fun a -> a.holder) (avail_at t l))

@@ -1,0 +1,127 @@
+(** A small generic worklist solver for forward and backward dataflow
+    problems over {!Cfg.t}.  Lattice elements are sets of ['a] represented as
+    sorted lists via a user-supplied compare; all the analyses in this library
+    are union (may) or intersection (must) problems over finite universes, so
+    termination is guaranteed. *)
+
+module type PROBLEM = sig
+  type fact
+
+  val compare_fact : fact -> fact -> int
+
+  (** Direction of information flow. *)
+  val direction : [ `Forward | `Backward ]
+
+  (** [`Union] = may analysis, starts from ⊥ = ∅.
+      [`Intersection] = must analysis, starts from ⊤ = universe. *)
+  val meet : [ `Union | `Intersection ]
+
+  (** Per-point transfer function: given the meet-over-edges input set,
+      produce the output set. *)
+  val transfer : Minilang.Ast.program -> int -> fact list -> fact list
+
+  (** Boundary value at the entry point (forward) or exit points
+      (backward). *)
+  val boundary : Minilang.Ast.program -> fact list
+
+  (** The finite universe of facts, needed as ⊤ for intersection problems. *)
+  val universe : Minilang.Ast.program -> fact list
+end
+
+module FactSet = struct
+  (* Facts are kept as strictly sorted lists; set operations are linear. *)
+  let norm compare xs = List.sort_uniq compare xs
+
+  let union compare a b = List.sort_uniq compare (List.rev_append a b)
+
+  let inter compare a b =
+    let rec go a b acc =
+      match (a, b) with
+      | [], _ | _, [] -> List.rev acc
+      | x :: a', y :: b' ->
+          let c = compare x y in
+          if c = 0 then go a' b' (x :: acc) else if c < 0 then go a' b acc else go a b' acc
+    in
+    go a b []
+
+  let equal compare a b = List.compare compare a b = 0
+end
+
+module Solve (P : PROBLEM) = struct
+  (** Result of the analysis in {e program order}: [before l] is the fact
+      set that holds just before instruction [I_l] executes, [after l] just
+      after.  (Internally the solver works on meet-inputs, which for backward
+      problems are the [after] sets.) *)
+  type result = { before : int -> P.fact list; after : int -> P.fact list }
+
+  let run (g : Cfg.t) : result =
+    let p = g.Cfg.program in
+    let n = Cfg.n_points g in
+    let init =
+      match P.meet with
+      | `Union -> []
+      | `Intersection -> FactSet.norm P.compare_fact (P.universe p)
+    in
+    let boundary = FactSet.norm P.compare_fact (P.boundary p) in
+    (* state.(l-1) is the meet-input of point l. *)
+    let state = Array.make n init in
+    let edges_in, edges_out_of =
+      match P.direction with
+      | `Forward -> (Cfg.preds g, Cfg.succs g)
+      | `Backward -> (Cfg.succs g, Cfg.preds g)
+    in
+    let is_boundary l =
+      match P.direction with
+      | `Forward -> l = 1
+      | `Backward -> Cfg.succs g l = []
+    in
+    let transfer_out l = P.transfer p l state.(l - 1) |> FactSet.norm P.compare_fact in
+    let recompute_in l =
+      let sources = edges_in l in
+      let from_edges =
+        match sources with
+        | [] -> if is_boundary l then boundary else init
+        | first :: rest ->
+            let combine =
+              match P.meet with
+              | `Union -> FactSet.union P.compare_fact
+              | `Intersection -> FactSet.inter P.compare_fact
+            in
+            List.fold_left (fun acc l' -> combine acc (transfer_out l')) (transfer_out first) rest
+      in
+      if is_boundary l then
+        (* A boundary point that also has in-edges (e.g., a loop back to the
+           entry) meets the boundary value with the edge contributions. *)
+        match P.meet with
+        | `Union -> FactSet.union P.compare_fact boundary from_edges
+        | `Intersection -> FactSet.inter P.compare_fact boundary from_edges
+      else from_edges
+    in
+    let worklist = Queue.create () in
+    let on_list = Array.make n false in
+    let push l =
+      if not on_list.(l - 1) then begin
+        on_list.(l - 1) <- true;
+        Queue.push l worklist
+      end
+    in
+    let order =
+      match P.direction with
+      | `Forward -> Cfg.reverse_postorder g
+      | `Backward -> List.rev (Cfg.reverse_postorder g)
+    in
+    List.iter push order;
+    while not (Queue.is_empty worklist) do
+      let l = Queue.pop worklist in
+      on_list.(l - 1) <- false;
+      let new_in = recompute_in l in
+      if not (FactSet.equal P.compare_fact new_in state.(l - 1)) then begin
+        state.(l - 1) <- new_in;
+        List.iter push (edges_out_of l)
+      end
+    done;
+    let meet_input l = state.(l - 1) in
+    match P.direction with
+    | `Forward -> { before = meet_input; after = transfer_out }
+    | `Backward -> { before = transfer_out; after = meet_input }
+end

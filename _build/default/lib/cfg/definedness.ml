@@ -1,0 +1,31 @@
+(** Definite-definedness: [x] is definitely defined at point [l] if on
+    {e every} path from the entry to [l], some instruction strictly before
+    [l] defines [x].
+
+    This is the first conjunct of the paper's [lives(x)] predicate
+    (Figure 3): [←AX ←A (true U def(x))].  The paper's [live(p, l)] is the
+    intersection of classic live-in with definite definedness, which is why
+    we keep it separate from {!Liveness}. *)
+
+module Problem = struct
+  type fact = Minilang.Ast.var
+
+  let compare_fact = String.compare
+  let direction = `Forward
+  let meet = `Intersection
+
+  let transfer p l incoming = Minilang.Ast.defs_of_instr (Minilang.Ast.instr_at p l) @ incoming
+  let boundary _ = []
+  let universe p = Minilang.Ast.all_vars p
+end
+
+module Solver = Dataflow.Solve (Problem)
+
+type t = { result : Solver.result }
+
+let analyze (g : Cfg.t) : t = { result = Solver.run g }
+
+(** Variables definitely defined on entry to point [l]. *)
+let defined_at (t : t) (l : int) : Minilang.Ast.var list = t.result.before l
+
+let is_defined_at (t : t) (l : int) (x : Minilang.Ast.var) = List.mem x (defined_at t l)

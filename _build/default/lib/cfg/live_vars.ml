@@ -1,0 +1,20 @@
+(** The paper's [live(p, l)] (Definition 2.7): variables satisfying the
+    [lives(x)] predicate of Figure 3, i.e., {e definitely defined} on all
+    paths reaching [l] {e and} read on some forward path before being
+    clobbered.  Classic dataflow live-in only requires the second half. *)
+
+type t = { liveness : Liveness.t; definedness : Definedness.t }
+
+let analyze (g : Cfg.t) : t =
+  { liveness = Liveness.analyze g; definedness = Definedness.analyze g }
+
+(** [live(p, l)] exactly as Definition 2.7 (sorted). *)
+let live_at (t : t) (l : int) : Minilang.Ast.var list =
+  List.filter (Definedness.is_defined_at t.definedness l) (Liveness.live_at t.liveness l)
+  |> List.sort_uniq String.compare
+
+let is_live (t : t) (l : int) (x : Minilang.Ast.var) = List.mem x (live_at t l)
+
+(** One-shot [live(p, l)]. *)
+let live (p : Minilang.Ast.program) (l : int) : Minilang.Ast.var list =
+  live_at (analyze (Cfg.build p)) l

@@ -1,0 +1,1 @@
+lib/corpus/dsl.ml: Hashtbl List Miniir Passes Printf String

@@ -1,0 +1,1 @@
+lib/corpus/kernels.ml: Dsl Fun List Miniir String

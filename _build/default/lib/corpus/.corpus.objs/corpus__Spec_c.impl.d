@@ -1,0 +1,1 @@
+lib/corpus/spec_c.ml: Array Dsl Hashtbl List Miniir Printf Random String

@@ -1,0 +1,755 @@
+(** The 12 evaluation kernels (Section 6.1): one per benchmark of Table 2,
+    each modelled on what the hottest function of that benchmark computes
+    and on its published IR statistics (loop structure, expression
+    redundancy, memory traffic, branchiness).  Absolute sizes are smaller
+    than the SPEC/Phoronix originals; the structural mix is what matters
+    for the OSR feasibility experiments (see EXPERIMENTS.md). *)
+
+open Dsl
+
+module Ir = Miniir.Ir
+
+let unroll (n : int) (f : int -> stmt list) : stmt = Seq (List.concat_map f (List.init n Fun.id))
+
+let add a b = Bin (Ir.Add, a, b)
+let sub a b = Bin (Ir.Sub, a, b)
+let mul a b = Bin (Ir.Mul, a, b)
+let band a b = Bin (Ir.And, a, b)
+let bxor a b = Bin (Ir.Xor, a, b)
+let bor a b = Bin (Ir.Or, a, b)
+let shl a b = Bin (Ir.Shl, a, b)
+let ashr a b = Bin (Ir.Ashr, a, b)
+let slt a b = Cmp (Ir.Slt, a, b)
+let sgt a b = Cmp (Ir.Sgt, a, b)
+let eq a b = Cmp (Ir.Eq, a, b)
+let i k = Const k
+let v u = Slot u
+let p x = Param x
+
+(* Seed an array with a cheap deterministic mixer so kernels chew on
+   non-trivial data. *)
+let fill_array arr size seed =
+  For
+    {
+      i = "fi";
+      below = i size;
+      body = [ Arr_set (arr, v "fi", Intr ("hash", [ add (mul (v "fi") (i 2654435)) seed ])) ];
+    }
+
+(* --- bzip2: fallbackSort-flavoured block sort ----------------------- *)
+(* Bubble passes with compare/swap over a seeded block, plus a bucket
+   histogram: branch-heavy, memory-heavy, simple arithmetic. *)
+let bzip2 : kernel =
+  {
+    kname = "bzip2_block_sort";
+    params = [ "n"; "seed" ];
+    arrays = [ ("block", 64); ("bucket", 16) ];
+    locals = [ "swaps"; "tmp"; "a"; "b"; "lim" ];
+    body =
+      [
+        fill_array "block" 64 (p "seed");
+        Set ("lim", Intr ("min", [ p "n"; i 64 ]));
+        Set ("swaps", i 0);
+        (* Unrolled shell-sort gap pass (fallbackSort's increments). *)
+        unroll 12 (fun g ->
+            let gap = [ 1; 4; 13; 40; 13; 4; 1; 4; 13; 40; 13; 4 ] in
+            let d = List.nth gap g in
+            [
+              Set ("a", Arr ("block", i (g * 5)));
+              Set ("b", Arr ("block", i ((g * 5 + d) mod 64)));
+              If
+                ( sgt (v "a") (v "b"),
+                  [
+                    Arr_set ("block", i (g * 5), v "b");
+                    Arr_set ("block", i ((g * 5 + d) mod 64), v "a");
+                    Set ("swaps", add (v "swaps") (i 1));
+                  ],
+                  [] );
+            ]);
+        For
+          {
+            i = "pass";
+            below = v "lim";
+            body =
+              [
+                For
+                  {
+                    i = "j";
+                    below = sub (v "lim") (i 1);
+                    body =
+                      [
+                        Set ("a", Arr ("block", v "j"));
+                        Set ("b", Arr ("block", add (v "j") (i 1)));
+                        If
+                          ( sgt (v "a") (v "b"),
+                            [
+                              Set ("tmp", v "a");
+                              Arr_set ("block", v "j", v "b");
+                              Arr_set ("block", add (v "j") (i 1), v "tmp");
+                              Set ("swaps", add (v "swaps") (i 1));
+                            ],
+                            [] );
+                      ];
+                  };
+              ];
+          };
+        For
+          {
+            i = "k";
+            below = v "lim";
+            body =
+              [
+                Set ("tmp", band (Arr ("block", v "k")) (i 15));
+                Arr_set ("bucket", v "tmp", add (Arr ("bucket", v "tmp")) (i 1));
+              ];
+          };
+        Emit (v "swaps");
+      ];
+    ret = add (v "swaps") (Arr ("bucket", i 3));
+  }
+
+(* --- h264ref: SAD over a macroblock --------------------------------- *)
+(* Unrolled rows of absolute differences — heavy CSE/ADCE material. *)
+let h264ref : kernel =
+  {
+    kname = "h264_sad_16x16";
+    params = [ "stride"; "seed" ];
+    arrays = [ ("cur", 256); ("refb", 256) ];
+    locals = [ "sad"; "row"; "d" ];
+    body =
+      [
+        fill_array "cur" 256 (p "seed");
+        fill_array "refb" 256 (add (p "seed") (i 7));
+        Set ("sad", i 0);
+        For
+          {
+            i = "y";
+            below = i 16;
+            body =
+              [
+                Set ("row", mul (v "y") (p "stride"));
+                unroll 16 (fun x ->
+                    [
+                      Set
+                        ( "d",
+                          sub
+                            (Arr ("cur", add (v "row") (i x)))
+                            (Arr ("refb", add (v "row") (i x))) );
+                      Set ("sad", add (v "sad") (Intr ("abs", [ v "d" ])));
+                    ]);
+              ];
+          };
+      ];
+    ret = v "sad";
+  }
+
+(* --- hmmer: Viterbi DP inner loop ----------------------------------- *)
+let hmmer : kernel =
+  {
+    kname = "hmmer_viterbi";
+    params = [ "len"; "seed" ];
+    arrays = [ ("mmx", 32); ("imx", 32); ("dmx", 32); ("tsc", 32) ];
+    locals = [ "sc"; "best"; "m"; "d"; "ins" ];
+    body =
+      [
+        fill_array "tsc" 32 (p "seed");
+        Set ("best", i (-9999));
+        For
+          {
+            i = "t";
+            below = Intr ("min", [ p "len"; i 30 ]);
+            body =
+              [
+                For
+                  {
+                    i = "k";
+                    below = i 31;
+                    body =
+                      [
+                        Set
+                          ( "m",
+                            Intr
+                              ( "max",
+                                [
+                                  add (Arr ("mmx", v "k")) (Arr ("tsc", v "k"));
+                                  add (Arr ("imx", v "k")) (Arr ("tsc", add (v "k") (i 8)));
+                                ] ) );
+                        Set
+                          ( "d",
+                            Intr
+                              ( "max",
+                                [ add (Arr ("dmx", v "k")) (i (-3)); sub (v "m") (i 11) ] ) );
+                        Set
+                          ( "ins",
+                            Intr
+                              ("max", [ add (Arr ("imx", v "k")) (i (-1)); sub (v "m") (i 5) ])
+                          );
+                        Arr_set ("mmx", add (v "k") (i 1), v "m");
+                        Arr_set ("dmx", add (v "k") (i 1), v "d");
+                        Arr_set ("imx", v "k", v "ins");
+                        Set ("sc", Intr ("max", [ v "m"; v "d" ]));
+                        If (sgt (v "sc") (v "best"), [ Set ("best", v "sc") ], []);
+                        (* Unrolled special-state updates (N/B/E/C/J rows). *)
+                        unroll 5 (fun srow ->
+                            [
+                              Set
+                                ( "sc",
+                                  Intr
+                                    ( "max",
+                                      [
+                                        add (v "sc") (i (-2 - srow));
+                                        add (Arr ("tsc", i (srow * 5 + 2))) (v "m");
+                                      ] ) );
+                              Arr_set ("imx", i (srow + 25), v "sc");
+                            ]);
+                      ];
+                  };
+              ];
+          };
+      ];
+    ret = v "best";
+  }
+
+(* --- namd: pairwise force computation ------------------------------- *)
+(* The largest kernel: unrolled interaction terms with shared
+   subexpressions and loop-invariant scale factors. *)
+let namd : kernel =
+  {
+    kname = "namd_forces";
+    params = [ "npairs"; "seed" ];
+    arrays = [ ("px", 32); ("py", 32); ("pz", 32); ("fx", 32); ("fy", 32); ("fz", 32) ];
+    locals = [ "dx"; "dy"; "dz"; "r2"; "r2inv"; "s"; "energy"; "cut" ];
+    body =
+      [
+        fill_array "px" 32 (p "seed");
+        fill_array "py" 32 (add (p "seed") (i 3));
+        fill_array "pz" 32 (add (p "seed") (i 5));
+        Set ("energy", i 0);
+        Set ("cut", i 4096);
+        For
+          {
+            i = "a";
+            below = Intr ("min", [ p "npairs"; i 16 ]);
+            body =
+              [
+                For
+                  {
+                    i = "b";
+                    below = i 8;
+                    body =
+                      ([
+                         Set ("dx", sub (Arr ("px", v "a")) (Arr ("px", add (v "a") (v "b"))));
+                         Set ("dy", sub (Arr ("py", v "a")) (Arr ("py", add (v "a") (v "b"))));
+                         Set ("dz", sub (Arr ("pz", v "a")) (Arr ("pz", add (v "a") (v "b"))));
+                         Set
+                           ( "r2",
+                             add
+                               (add (mul (v "dx") (v "dx")) (mul (v "dy") (v "dy")))
+                               (mul (v "dz") (v "dz")) );
+                       ]
+                      @ [
+                          If
+                            ( slt (v "r2") (v "cut"),
+                              [
+                                Set ("r2inv", sub (v "cut") (v "r2"));
+                                Set ("s", ashr (mul (v "r2inv") (i 3)) (i 4));
+                                unroll 3 (fun axis ->
+                                    let d = List.nth [ "dx"; "dy"; "dz" ] axis in
+                                    let farr = List.nth [ "fx"; "fy"; "fz" ] axis in
+                                    [
+                                      Arr_set
+                                        ( farr,
+                                          v "a",
+                                          add (Arr (farr, v "a")) (mul (v "s") (v d)) );
+                                      Arr_set
+                                        ( farr,
+                                          v "b",
+                                          sub (Arr (farr, v "b")) (mul (v "s") (v d)) );
+                                    ]);
+                                Set ("energy", add (v "energy") (v "s"));
+                                (* Inlined switching-function polynomial and
+                                   exclusion corrections (several unrolled
+                                   Horner steps per axis), as in the real
+                                   nonbonded kernel. *)
+                                unroll 16 (fun t ->
+                                    [
+                                      Set
+                                        ( "s",
+                                          add
+                                            (mul (v "s") (i (3 + t)))
+                                            (ashr (mul (v "r2inv") (i (t + 1))) (i 3)) );
+                                      Set
+                                        ( "energy",
+                                          add (v "energy")
+                                            (band (v "s") (i (4095 lsr (t mod 12)))) );
+                                    ]);
+                              ],
+                              [] );
+                        ]);
+                  };
+              ];
+          };
+      ];
+    ret = add (v "energy") (Arr ("fx", i 2));
+  }
+
+(* --- perlbench: opcode dispatch interpreter -------------------------- *)
+(* A big dispatch chain over a synthetic opcode stream: the branchiest and
+   largest function, as in the paper (its hottest function benefits most
+   from CSE). *)
+let perlbench : kernel =
+  {
+    kname = "perl_runops";
+    params = [ "steps"; "seed" ];
+    arrays = [ ("ops", 64); ("stack", 16) ];
+    locals = [ "sp"; "op"; "acc"; "tmp" ];
+    body =
+      [
+        fill_array "ops" 64 (p "seed");
+        Set ("sp", i 0);
+        Set ("acc", i 1);
+        For
+          {
+            i = "pc";
+            below = Intr ("min", [ p "steps"; i 48 ]);
+            body =
+              [
+                (* Six inlined interpreter phases (fetch/decode/operand
+                   fiddling), as the real runops megafunction inlines its
+                   helpers. *)
+                unroll 24 (fun ph ->
+                    [
+                      Set ("tmp", bxor (Arr ("ops", add (v "pc") (i ph))) (i (17 * ph + 3)));
+                      Set ("tmp", add (mul (v "tmp") (i (2 * ph + 1))) (ashr (v "acc") (i 1)));
+                      Set ("acc", bor (band (v "acc") (i 0xFFFF)) (band (v "tmp") (i (255 lsl (ph mod 8)))));
+                      If
+                        ( sgt (v "tmp") (i (100 * (ph mod 12))),
+                          [ Set ("acc", sub (v "acc") (band (v "tmp") (i 31))) ],
+                          [ Set ("acc", add (v "acc") (i ph)) ] );
+                    ]);
+                Set ("op", band (Arr ("ops", v "pc")) (i 7));
+                If
+                  ( eq (v "op") (i 0),
+                    [ (* const: push *)
+                      Arr_set ("stack", v "sp", add (Arr ("ops", v "pc")) (i 1));
+                      Set ("sp", band (add (v "sp") (i 1)) (i 15));
+                    ],
+                    [
+                      If
+                        ( eq (v "op") (i 1),
+                          [ (* add *)
+                            Set ("tmp", Arr ("stack", v "sp"));
+                            Set ("acc", add (v "acc") (v "tmp"));
+                          ],
+                          [
+                            If
+                              ( eq (v "op") (i 2),
+                                [ (* mul *)
+                                  Set ("tmp", bor (Arr ("stack", v "sp")) (i 1));
+                                  Set ("acc", mul (v "acc") (band (v "tmp") (i 7)));
+                                ],
+                                [
+                                  If
+                                    ( eq (v "op") (i 3),
+                                      [ (* swap-ish *)
+                                        Set ("tmp", Arr ("stack", i 0));
+                                        Arr_set ("stack", i 0, v "acc");
+                                        Set ("acc", v "tmp");
+                                      ],
+                                      [
+                                        If
+                                          ( eq (v "op") (i 4),
+                                            [ Set ("acc", bxor (v "acc") (Arr ("ops", v "pc"))) ],
+                                            [
+                                              If
+                                                ( eq (v "op") (i 5),
+                                                  [
+                                                    Set ("acc", Intr ("abs", [ v "acc" ]));
+                                                    Set ("sp", band (sub (v "sp") (i 1)) (i 15));
+                                                  ],
+                                                  [
+                                                    If
+                                                      ( eq (v "op") (i 6),
+                                                        [ Emit (v "acc") ],
+                                                        [
+                                                          Set
+                                                            ( "acc",
+                                                              add (ashr (v "acc") (i 1)) (i 3)
+                                                            );
+                                                        ] );
+                                                  ] );
+                                            ] );
+                                      ] );
+                                ] );
+                          ] );
+                    ] );
+              ];
+          };
+      ];
+    ret = add (v "acc") (v "sp");
+  }
+
+(* --- sjeng: evaluation with nested scans ----------------------------- *)
+let sjeng : kernel =
+  {
+    kname = "sjeng_eval";
+    params = [ "depth"; "seed" ];
+    arrays = [ ("board", 64); ("pst", 64) ];
+    locals = [ "score"; "piece"; "bonus"; "mob"; "hashv" ];
+    body =
+      [
+        fill_array "board" 64 (p "seed");
+        fill_array "pst" 64 (add (p "seed") (i 13));
+        Set ("score", i 0);
+        Set ("hashv", i 0);
+        For
+          {
+            i = "sq";
+            below = i 64;
+            body =
+              [
+                Set ("piece", band (Arr ("board", v "sq")) (i 7));
+                Set ("hashv", bxor (v "hashv") (Intr ("hash", [ add (v "piece") (shl (v "sq") (i 3)) ])));
+                If
+                  ( eq (v "piece") (i 0),
+                    [],
+                    [
+                      Set ("bonus", Arr ("pst", v "sq"));
+                      Set ("mob", i 0);
+                      For
+                        {
+                          i = "d";
+                          below = Intr ("min", [ p "depth"; i 4 ]);
+                          body =
+                            [
+                              Set
+                                ( "mob",
+                                  add (v "mob")
+                                    (band
+                                       (Arr ("board", add (v "sq") (mul (v "d") (i 8))))
+                                       (i 1)) );
+                            ];
+                        };
+                      Set ("score", add (v "score") (add (v "bonus") (mul (v "mob") (i 4))));
+                      (* Inlined per-piece-type evaluators (pawns, knights,
+                         bishops, rooks, queens, kings, plus two auxiliary
+                         pattern scans), mirroring sjeng's monolithic
+                         evaluator. *)
+                      unroll 12 (fun pt ->
+                          [
+                            If
+                              ( eq (v "piece") (i (pt mod 8)),
+                                [
+                                  Set
+                                    ( "bonus",
+                                      add
+                                        (mul (Arr ("pst", band (add (v "sq") (i (pt * 9))) (i 63)))
+                                           (i (pt + 1)))
+                                        (ashr (v "score") (i 4)) );
+                                  Set
+                                    ( "mob",
+                                      add (v "mob")
+                                        (band
+                                           (Arr ("board", band (add (v "sq") (i (pt * 7 + 1))) (i 63)))
+                                           (i 3)) );
+                                  Set ("score", add (v "score") (band (v "bonus") (i 1023)));
+                                ],
+                                [] );
+                          ]);
+                    ] );
+              ];
+          };
+        Emit (v "hashv");
+      ];
+    ret = add (v "score") (band (v "hashv") (i 255));
+  }
+
+(* --- soplex: simplex ratio test (the smallest kernel) ---------------- *)
+let soplex : kernel =
+  {
+    kname = "soplex_ratio_test";
+    params = [ "m"; "seed" ];
+    arrays = [ ("vec", 32); ("upd", 32) ];
+    locals = [ "best"; "bestidx"; "ratio" ];
+    body =
+      [
+        fill_array "vec" 32 (p "seed");
+        fill_array "upd" 32 (add (p "seed") (i 1));
+        Set ("best", i 99999);
+        Set ("bestidx", i (-1));
+        For
+          {
+            i = "r";
+            below = Intr ("min", [ p "m"; i 32 ]);
+            body =
+              [
+                If
+                  ( sgt (Arr ("upd", v "r")) (i 0),
+                    [
+                      Set
+                        ( "ratio",
+                          Bin (Ir.Sdiv, Intr ("abs", [ Arr ("vec", v "r") ]),
+                               bor (Arr ("upd", v "r")) (i 1)) );
+                      If
+                        ( slt (v "ratio") (v "best"),
+                          [ Set ("best", v "ratio"); Set ("bestidx", v "r") ],
+                          [] );
+                    ],
+                    [] );
+              ];
+          };
+      ];
+    ret = add (v "best") (v "bestidx");
+  }
+
+(* --- bullet: AABB overlap tests (φ-heavy, branchy) ------------------- *)
+let bullet : kernel =
+  {
+    kname = "bullet_aabb_overlap";
+    params = [ "nboxes"; "seed" ];
+    arrays = [ ("minx", 32); ("maxx", 32); ("miny", 32); ("maxy", 32) ];
+    locals = [ "hits"; "ov"; "cx"; "cy" ];
+    body =
+      [
+        fill_array "minx" 32 (p "seed");
+        fill_array "miny" 32 (add (p "seed") (i 2));
+        For
+          {
+            i = "s";
+            below = i 32;
+            body =
+              [
+                Arr_set ("maxx", v "s", add (Arr ("minx", v "s")) (band (Arr ("miny", v "s")) (i 63)));
+                Arr_set ("maxy", v "s", add (Arr ("miny", v "s")) (i 17));
+              ];
+          };
+        Set ("hits", i 0);
+        For
+          {
+            i = "a";
+            below = Intr ("min", [ p "nboxes"; i 16 ]);
+            body =
+              [
+                For
+                  {
+                    i = "b";
+                    below = i 16;
+                    body =
+                      [
+                        Set
+                          ( "cx",
+                            band
+                              (Cmp (Ir.Sle, Arr ("minx", v "a"), Arr ("maxx", v "b")))
+                              (Cmp (Ir.Sle, Arr ("minx", v "b"), Arr ("maxx", v "a"))) );
+                        Set
+                          ( "cy",
+                            band
+                              (Cmp (Ir.Sle, Arr ("miny", v "a"), Arr ("maxy", v "b")))
+                              (Cmp (Ir.Sle, Arr ("miny", v "b"), Arr ("maxy", v "a"))) );
+                        Set ("ov", band (v "cx") (v "cy"));
+                        If (v "ov", [ Set ("hits", add (v "hits") (i 1)) ], []);
+                      ];
+                  };
+              ];
+          };
+      ];
+    ret = v "hits";
+  }
+
+(* --- dcraw: demosaic neighbour averaging ----------------------------- *)
+let dcraw : kernel =
+  {
+    kname = "dcraw_demosaic";
+    params = [ "rows"; "seed" ];
+    arrays = [ ("raw", 128); ("outp", 128) ];
+    locals = [ "acc"; "sum"; "pix" ];
+    body =
+      [
+        fill_array "raw" 128 (p "seed");
+        Set ("acc", i 0);
+        For
+          {
+            i = "y";
+            below = Intr ("min", [ p "rows"; i 14 ]);
+            body =
+              [
+                unroll 6 (fun x ->
+                    [
+                      Set ("pix", add (mul (v "y") (i 8)) (i x));
+                      Set
+                        ( "sum",
+                          add
+                            (add (Arr ("raw", v "pix")) (Arr ("raw", add (v "pix") (i 1))))
+                            (add
+                               (Arr ("raw", add (v "pix") (i 8)))
+                               (Arr ("raw", add (v "pix") (i 9)))) );
+                      Arr_set ("outp", v "pix", ashr (v "sum") (i 2));
+                      Set ("acc", add (v "acc") (Arr ("outp", v "pix")));
+                    ]);
+              ];
+          };
+      ];
+    ret = v "acc";
+  }
+
+(* --- ffmpeg: DCT butterfly with a dead configuration branch ---------- *)
+(* The constant-false branch feeds SCCP the unreachable code it eliminated
+   so dramatically in the paper's ffmpeg row. *)
+let ffmpeg : kernel =
+  {
+    kname = "ffmpeg_dct8";
+    params = [ "niter"; "seed" ];
+    arrays = [ ("blk", 64) ];
+    locals = [ "s07"; "d07"; "s16"; "d16"; "s25"; "d25"; "s34"; "d34"; "chk"; "cfg" ];
+    body =
+      [
+        fill_array "blk" 64 (p "seed");
+        Set ("cfg", i 0);
+        If
+          ( v "cfg",
+            [
+              (* dead "high precision" configuration path *)
+              Set ("chk", mul (Arr ("blk", i 0)) (i 181));
+              Set ("chk", add (v "chk") (mul (Arr ("blk", i 7)) (i 181)));
+              Emit (v "chk");
+            ],
+            [] );
+        Set ("chk", i 0);
+        For
+          {
+            i = "it";
+            below = Intr ("min", [ p "niter"; i 8 ]);
+            body =
+              [
+                unroll 3 (fun r ->
+                    let base = r * 8 in
+                    [
+                      Set ("s07", add (Arr ("blk", i base)) (Arr ("blk", i (base + 7))));
+                      Set ("d07", sub (Arr ("blk", i base)) (Arr ("blk", i (base + 7))));
+                      Set ("s16", add (Arr ("blk", i (base + 1))) (Arr ("blk", i (base + 6))));
+                      Set ("d16", sub (Arr ("blk", i (base + 1))) (Arr ("blk", i (base + 6))));
+                      Set ("s25", add (Arr ("blk", i (base + 2))) (Arr ("blk", i (base + 5))));
+                      Set ("d25", sub (Arr ("blk", i (base + 2))) (Arr ("blk", i (base + 5))));
+                      Set ("s34", add (Arr ("blk", i (base + 3))) (Arr ("blk", i (base + 4))));
+                      Set ("d34", sub (Arr ("blk", i (base + 3))) (Arr ("blk", i (base + 4))));
+                      Arr_set ("blk", i base, add (v "s07") (v "s34"));
+                      Arr_set ("blk", i (base + 4), sub (v "s07") (v "s34"));
+                      Arr_set ("blk", i (base + 2), add (v "d16") (v "d25"));
+                      Arr_set ("blk", i (base + 6), sub (v "d16") (v "d25"));
+                      Arr_set ("blk", i (base + 1), add (v "s16") (v "s25"));
+                      Arr_set ("blk", i (base + 7), ashr (add (v "d07") (v "d34")) (i 1));
+                    ]);
+                Set ("chk", bxor (v "chk") (Arr ("blk", band (v "it") (i 63))));
+              ];
+          };
+      ];
+    ret = v "chk";
+  }
+
+(* --- fhourstones: connect-4 transposition hashing -------------------- *)
+let fhourstones : kernel =
+  {
+    kname = "fhourstones_hash";
+    params = [ "probes"; "seed" ];
+    arrays = [ ("ht", 64) ];
+    locals = [ "key"; "h"; "hits"; "pos" ];
+    body =
+      [
+        Set ("key", bor (p "seed") (i 1));
+        Set ("hits", i 0);
+        For
+          {
+            i = "t";
+            below = Intr ("min", [ p "probes"; i 40 ]);
+            body =
+              [
+                Set ("key", bxor (shl (v "key") (i 5)) (ashr (v "key") (i 7)));
+                Set ("key", band (v "key") (i 0xFFFFF));
+                Set ("h", Intr ("hash", [ v "key" ]));
+                Set ("pos", band (v "h") (i 63));
+                unroll 2 (fun probe ->
+                    [
+                      If
+                        ( eq (Arr ("ht", add (v "pos") (i probe))) (v "key"),
+                          [ Set ("hits", add (v "hits") (i 1)) ],
+                          [ Arr_set ("ht", add (v "pos") (i probe), v "key") ] );
+                    ]);
+              ];
+          };
+      ];
+    ret = add (v "hits") (band (v "key") (i 15));
+  }
+
+(* --- vp8: 6-tap sub-pixel interpolation filter ----------------------- *)
+let vp8 : kernel =
+  {
+    kname = "vp8_sixtap_filter";
+    params = [ "cols"; "seed" ];
+    arrays = [ ("src", 64); ("dst", 64) ];
+    locals = [ "t"; "clipped" ];
+    body =
+      [
+        fill_array "src" 64 (p "seed");
+        For
+          {
+            i = "c";
+            below = Intr ("min", [ p "cols"; i 56 ]);
+            body =
+              [
+                Set
+                  ( "t",
+                    add
+                      (add
+                         (mul (Arr ("src", v "c")) (i 2))
+                         (mul (Arr ("src", add (v "c") (i 1))) (i (-11))))
+                      (add
+                         (add
+                            (mul (Arr ("src", add (v "c") (i 2))) (i 108))
+                            (mul (Arr ("src", add (v "c") (i 3))) (i 36)))
+                         (add
+                            (mul (Arr ("src", add (v "c") (i 4))) (i (-8)))
+                            (mul (Arr ("src", add (v "c") (i 5))) (i 1)))) );
+                Set ("t", ashr (add (v "t") (i 64)) (i 7));
+                Set ("clipped", Intr ("max", [ i 0; Intr ("min", [ v "t"; i 255 ]) ]));
+                Arr_set ("dst", v "c", v "clipped");
+              ];
+          };
+      ];
+    ret = add (Arr ("dst", i 5)) (Arr ("dst", i 21));
+  }
+
+type entry = {
+  kernel : kernel;
+  benchmark : string;  (** the benchmark the kernel is modelled on *)
+  suite : string;  (** SPEC CPU2006 or Phoronix PTS *)
+  default_args : int list;
+}
+
+let all : entry list =
+  [
+    { kernel = bzip2; benchmark = "bzip2"; suite = "SPEC CPU2006"; default_args = [ 48; 12345 ] };
+    { kernel = h264ref; benchmark = "h264ref"; suite = "SPEC CPU2006"; default_args = [ 16; 777 ] };
+    { kernel = hmmer; benchmark = "hmmer"; suite = "SPEC CPU2006"; default_args = [ 24; 4242 ] };
+    { kernel = namd; benchmark = "namd"; suite = "SPEC CPU2006"; default_args = [ 16; 99 ] };
+    {
+      kernel = perlbench;
+      benchmark = "perlbench";
+      suite = "SPEC CPU2006";
+      default_args = [ 48; 31337 ];
+    };
+    { kernel = sjeng; benchmark = "sjeng"; suite = "SPEC CPU2006"; default_args = [ 4; 555 ] };
+    { kernel = soplex; benchmark = "soplex"; suite = "SPEC CPU2006"; default_args = [ 32; 808 ] };
+    { kernel = bullet; benchmark = "bullet"; suite = "Phoronix PTS"; default_args = [ 16; 2020 ] };
+    { kernel = dcraw; benchmark = "dcraw"; suite = "Phoronix PTS"; default_args = [ 14; 606 ] };
+    { kernel = ffmpeg; benchmark = "ffmpeg"; suite = "Phoronix PTS"; default_args = [ 8; 911 ] };
+    {
+      kernel = fhourstones;
+      benchmark = "fhourstones";
+      suite = "Phoronix PTS";
+      default_args = [ 40; 13 ];
+    };
+    { kernel = vp8; benchmark = "vp8"; suite = "Phoronix PTS"; default_args = [ 56; 3333 ] };
+  ]
+
+let find (benchmark : string) : entry option =
+  List.find_opt (fun e -> String.equal e.benchmark benchmark) all

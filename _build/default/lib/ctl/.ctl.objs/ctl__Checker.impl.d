@@ -1,0 +1,1 @@
+lib/ctl/checker.ml: Array Formula Langcfg List Minilang Patterns String

@@ -1,0 +1,1 @@
+lib/ctl/formula.ml: List Patterns

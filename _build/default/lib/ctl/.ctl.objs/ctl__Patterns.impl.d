@@ -1,0 +1,1 @@
+lib/ctl/patterns.ml: Fmt Int List Map Minilang Option String

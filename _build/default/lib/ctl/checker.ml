@@ -1,0 +1,201 @@
+(** CTL model checker over the program-point transition system of a program.
+
+    For a {e closed} formula (all meta-variables resolved by the supplied
+    substitution), {!sat_set} computes the set of points satisfying it by
+    structural recursion with least-fixpoint iteration for the until
+    operators.  {!solve} additionally searches for substitutions, realizing
+    the "model checker finds θ such that θ(φ) is satisfied" workflow of
+    Section 2.2. *)
+
+type env = {
+  program : Minilang.Ast.program;
+  graph : Langcfg.Cfg.t;
+  n : int;
+}
+
+let make_env (p : Minilang.Ast.program) : env =
+  { program = p; graph = Langcfg.Cfg.build p; n = Minilang.Ast.length p }
+
+let edges (env : env) (d : Formula.direction) (l : int) : int list =
+  match d with
+  | Fwd -> Langcfg.Cfg.succs env.graph l
+  | Bwd -> Langcfg.Cfg.preds env.graph l
+
+exception Unresolved_meta = Patterns.Unresolved
+
+(* Evaluate a closed atom at point [l]. *)
+let rec eval_atom (env : env) (s : Patterns.subst) (a : Formula.atom) (l : int) : bool =
+  let instr = Minilang.Ast.instr_at env.program l in
+  match a with
+  | Def va -> List.mem (Patterns.inst_var s va) (Minilang.Ast.defs_of_instr instr)
+  | Use va -> List.mem (Patterns.inst_var s va) (Minilang.Ast.uses_of_instr instr)
+  | Stmt ip -> Minilang.Ast.equal_instr (Patterns.inst_instr s ip) instr
+  | Point pa -> Patterns.inst_point s pa = l
+  | Trans m -> (
+      match Patterns.lookup s m with
+      | Some (Bexpr e) -> Minilang.Ast.trans e instr
+      | Some (Bvar x) -> Minilang.Ast.trans (Var x) instr
+      | Some (Bnum _) -> true
+      | Some (Bpoint _) | None -> raise (Unresolved_meta m))
+  | Conlit m -> (
+      match Patterns.lookup s m with
+      | Some (Bnum _) -> true
+      | Some (Bexpr e) -> Minilang.Ast.conlit e
+      | Some (Bvar _) -> false
+      | Some (Bpoint _) | None -> raise (Unresolved_meta m))
+  | Freevar (va, m) -> (
+      let x = Patterns.inst_var s va in
+      match Patterns.lookup s m with
+      | Some (Bexpr e) -> Minilang.Ast.freevar x e
+      | Some (Bvar y) -> String.equal x y
+      | Some (Bnum _) -> false
+      | Some (Bpoint _) | None -> raise (Unresolved_meta m))
+  | Pure m -> (
+      let rec pure (e : Minilang.Ast.expr) =
+        match e with
+        | Num _ | Var _ -> true
+        | Binop ((Div | Mod), _, _) -> false
+        | Binop (_, a, b) -> pure a && pure b
+        | Unop (_, a) -> pure a
+      in
+      match Patterns.lookup s m with
+      | Some (Bexpr e) -> pure e
+      | Some (Bvar _) | Some (Bnum _) -> true
+      | Some (Bpoint _) | None -> raise (Unresolved_meta m))
+  | Lives va ->
+      (* Expand per Figure 3 and check the expansion at l. *)
+      let expansion = Formula.lives_definition va in
+      (sat_set env s expansion).(l - 1)
+
+(* Satisfaction set as a bool array indexed by point - 1. *)
+and sat_set (env : env) (s : Patterns.subst) (f : Formula.t) : bool array =
+  let n = env.n in
+  match f with
+  | True -> Array.make n true
+  | False -> Array.make n false
+  | Atom a -> Array.init n (fun i -> eval_atom env s a (i + 1))
+  | Not g -> Array.map not (sat_set env s g)
+  | And (a, b) ->
+      let sa = sat_set env s a and sb = sat_set env s b in
+      Array.init n (fun i -> sa.(i) && sb.(i))
+  | Or (a, b) ->
+      let sa = sat_set env s a and sb = sat_set env s b in
+      Array.init n (fun i -> sa.(i) || sb.(i))
+  | Implies (a, b) ->
+      let sa = sat_set env s a and sb = sat_set env s b in
+      Array.init n (fun i -> (not sa.(i)) || sb.(i))
+  | AX (d, g) ->
+      (* Vacuously true at points with no d-successors. *)
+      let sg = sat_set env s g in
+      Array.init n (fun i -> List.for_all (fun m -> sg.(m - 1)) (edges env d (i + 1)))
+  | EX (d, g) ->
+      let sg = sat_set env s g in
+      Array.init n (fun i -> List.exists (fun m -> sg.(m - 1)) (edges env d (i + 1)))
+  | AU (d, phi, psi) ->
+      (* The paper's analyses quantify over *finite maximal paths* in the
+         CFG (Section 2.2): a path trapped forever in a cycle is not
+         maximal and is not considered.  Under that reading A(φ U ψ) is the
+         greatest fixpoint of
+           X = ψ ∪ (φ ∩ {l | edges(l) ≠ ∅ ∧ edges(l) ⊆ X}),
+         which also matches the classic intersection-style dataflow
+         formulations of dominance and definite definedness (initialized to
+         ⊤).  A point with no successors satisfies A(φ U ψ) only via ψ. *)
+      let sphi = sat_set env s phi and spsi = sat_set env s psi in
+      let x = Array.make n true in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for i = 0 to n - 1 do
+          if x.(i) then begin
+            let es = edges env d (i + 1) in
+            let keep =
+              spsi.(i) || (sphi.(i) && es <> [] && List.for_all (fun m -> x.(m - 1)) es)
+            in
+            if not keep then begin
+              x.(i) <- false;
+              changed := true
+            end
+          end
+        done
+      done;
+      x
+  | EU (d, phi, psi) ->
+      let sphi = sat_set env s phi and spsi = sat_set env s psi in
+      let x = Array.copy spsi in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for i = 0 to n - 1 do
+          if not x.(i) then
+            if sphi.(i) && List.exists (fun m -> x.(m - 1)) (edges env d (i + 1)) then begin
+              x.(i) <- true;
+              changed := true
+            end
+        done
+      done;
+      x
+
+(** [holds env s f l]: does point [l] satisfy the closed formula [s(f)]? *)
+let holds (env : env) (s : Patterns.subst) (f : Formula.t) (l : int) : bool =
+  (sat_set env s f).(l - 1)
+
+(** [holds_program p f l] one-shot convenience for closed formulas. *)
+let holds_program (p : Minilang.Ast.program) (f : Formula.t) (l : int) : bool =
+  holds (make_env p) Patterns.empty_subst f l
+
+(* ------------------------------------------------------------------ *)
+(* Substitution search                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Candidate universes for enumerating free meta-variables: all program
+    variables, all literals occurring in the program, all right-hand-side
+    expressions, all points. *)
+let candidates (p : Minilang.Ast.program) : Formula.meta_kind -> Patterns.binding list =
+  let vars = Minilang.Ast.all_vars p in
+  let nums = ref [] and exprs = ref [] in
+  let rec collect_nums (e : Minilang.Ast.expr) =
+    match e with
+    | Num k -> if not (List.mem k !nums) then nums := k :: !nums
+    | Var _ -> ()
+    | Binop (_, a, b) ->
+        collect_nums a;
+        collect_nums b
+    | Unop (_, a) -> collect_nums a
+  in
+  Array.iter
+    (fun i ->
+      match (i : Minilang.Ast.instr) with
+      | Assign (_, e) ->
+          collect_nums e;
+          if not (List.exists (Minilang.Ast.equal_expr e) !exprs) then exprs := e :: !exprs
+      | If (e, _) -> collect_nums e
+      | Goto _ | Skip | Abort | In _ | Out _ -> ())
+    p;
+  let n = Minilang.Ast.length p in
+  fun kind ->
+    match kind with
+    | Formula.Kvar -> List.map (fun x -> Patterns.Bvar x) vars
+    | Knum -> List.map (fun k -> Patterns.Bnum k) !nums
+    | Kexpr ->
+        List.map (fun k -> Patterns.Bnum k) !nums
+        @ List.map (fun x -> Patterns.Bvar x) vars
+        @ List.map (fun e -> Patterns.Bexpr e) !exprs
+    | Kpoint -> List.init n (fun i -> Patterns.Bpoint (i + 1))
+
+(** Find all substitution completions θ ⊇ [s] over the free meta-variables
+    of [f] such that [θ(f)] holds at point [l].  Enumeration is bounded by
+    the candidate universes above, which suffices for side conditions whose
+    metas denote objects occurring in the program (as in all of Figure 5). *)
+let solve (env : env) (s : Patterns.subst) (f : Formula.t) (l : int) : Patterns.subst list =
+  let free =
+    List.filter (fun (m, _) -> Patterns.lookup s m = None) (Formula.free_metas f)
+  in
+  let cands = candidates env.program in
+  let rec go s = function
+    | [] -> if holds env s f l then [ s ] else []
+    | (m, kind) :: rest ->
+        List.concat_map
+          (fun b -> match Patterns.bind s m b with None -> [] | Some s' -> go s' rest)
+          (cands kind)
+  in
+  go s free

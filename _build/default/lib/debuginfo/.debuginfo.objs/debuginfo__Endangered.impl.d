@@ -1,0 +1,1 @@
+lib/debuginfo/endangered.ml: List Miniir Osrir Passes Result Source_vars String

@@ -1,0 +1,1 @@
+lib/debuginfo/source_vars.ml: Hashtbl List Miniir Option String

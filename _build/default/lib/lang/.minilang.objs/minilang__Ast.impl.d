@@ -1,0 +1,1 @@
+lib/lang/ast.pp.ml: Array Hashtbl List Ppx_deriving_runtime Printf Result

@@ -1,0 +1,1 @@
+lib/lang/compose.pp.ml: Array Ast List

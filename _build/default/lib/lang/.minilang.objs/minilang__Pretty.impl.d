@@ -1,0 +1,1 @@
+lib/lang/pretty.pp.ml: Array Ast Buffer Fmt Printf String

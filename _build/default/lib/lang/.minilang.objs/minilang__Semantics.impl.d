@@ -1,0 +1,1 @@
+lib/lang/semantics.pp.ml: Ast Fmt List Store

@@ -1,0 +1,1 @@
+lib/lang/store.pp.ml: Ast Fmt Int List Map String

@@ -1,0 +1,180 @@
+(** Abstract syntax for the minimal imperative language of the paper
+    (Figure 1).
+
+    A program is a non-empty sequence of instructions indexed by {e program
+    points} [1..n].  The first instruction must be [In] and the last must be
+    [Out]; no other occurrence of either is allowed (Definition 2.1). *)
+
+type var = string [@@deriving show, eq, ord]
+
+(** Binary operators.  The paper's grammar lists [Expr + Expr | ...]; we
+    provide the usual complement of arithmetic, comparison, and logical
+    operators, all evaluating to integers (0 = false, non-zero = true). *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+[@@deriving show, eq, ord]
+
+type unop = Neg | Not [@@deriving show, eq, ord]
+
+type expr =
+  | Num of int
+  | Var of var
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+[@@deriving show, eq, ord]
+
+(** Instructions, mirroring Figure 1.  Program points in [If] and [Goto]
+    targets are 1-based indices into the program. *)
+type instr =
+  | Assign of var * expr
+  | If of expr * int  (** [if (e) goto m] *)
+  | Goto of int
+  | Skip
+  | Abort
+  | In of var list  (** variables that must be defined on entry *)
+  | Out of var list  (** variables returned as output *)
+[@@deriving show, eq, ord]
+
+(** A program, stored 0-based internally; point [l] is [prog.(l-1)]. *)
+type program = instr array
+
+let equal_program (p : program) (q : program) =
+  Array.length p = Array.length q && Array.for_all2 equal_instr p q
+
+let length (p : program) = Array.length p
+
+(** [instr_at p l] is instruction [I_l], for [l] in [1..length p].
+    @raise Invalid_argument if [l] is out of range. *)
+let instr_at (p : program) l =
+  if l < 1 || l > Array.length p then
+    invalid_arg (Printf.sprintf "Ast.instr_at: point %d out of [1,%d]" l (Array.length p));
+  p.(l - 1)
+
+(** Free variables of an expression, in first-occurrence order without
+    duplicates. *)
+let expr_vars (e : expr) : var list =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Num _ -> ()
+    | Var x ->
+        if not (Hashtbl.mem seen x) then begin
+          Hashtbl.add seen x ();
+          acc := x :: !acc
+        end
+    | Binop (_, a, b) ->
+        go a;
+        go b
+    | Unop (_, a) -> go a
+  in
+  go e;
+  List.rev !acc
+
+(** [freevar x e] holds iff [x] occurs free in [e] (global predicate of
+    Section 2.2). *)
+let freevar (x : var) (e : expr) = List.mem x (expr_vars e)
+
+(** [conlit e] holds iff [e] is a constant literal. *)
+let conlit = function Num _ -> true | Var _ | Binop _ | Unop _ -> false
+
+(** Variables defined by an instruction (the paper's [def] predicate ranges
+    over these). *)
+let defs_of_instr = function
+  | Assign (x, _) -> [ x ]
+  | In xs -> xs
+  | If _ | Goto _ | Skip | Abort | Out _ -> []
+
+(** Variables used (read) by an instruction (the paper's [use] predicate). *)
+let uses_of_instr = function
+  | Assign (_, e) -> expr_vars e
+  | If (e, _) -> expr_vars e
+  | Out xs -> xs
+  | Goto _ | Skip | Abort | In _ -> []
+
+(** [trans e i] holds iff no constituent (free variable) of [e] is modified
+    by instruction [i] — the paper's [trans(e)] local predicate. *)
+let trans (e : expr) (i : instr) =
+  match i with
+  | Assign (x, _) -> not (freevar x e)
+  | In xs -> not (List.exists (fun x -> freevar x e) xs)
+  | If _ | Goto _ | Skip | Abort | Out _ -> true
+
+(** Structural well-formedness per Definition 2.1: at least two instructions,
+    [In] exactly at point 1, [Out] exactly at point [n], and all jump targets
+    within [1..n].  Returns [Error msg] describing the first violation. *)
+let validate (p : program) : (unit, string) result =
+  let n = Array.length p in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if n < 2 then err "program must have at least 2 instructions, got %d" n
+  else
+    match (p.(0), p.(n - 1)) with
+    | In _, Out _ ->
+        let exception Bad of string in
+        begin
+          try
+            Array.iteri
+              (fun i instr ->
+                let l = i + 1 in
+                (match instr with
+                | In _ when l <> 1 -> raise (Bad (Printf.sprintf "in at point %d" l))
+                | Out _ when l <> n -> raise (Bad (Printf.sprintf "out at point %d" l))
+                | _ -> ());
+                match instr with
+                | Goto m | If (_, m) ->
+                    if m < 1 || m > n then
+                      raise (Bad (Printf.sprintf "jump target %d out of [1,%d] at point %d" m n l))
+                | _ -> ())
+              p;
+            Ok ()
+          with Bad s -> Error s
+        end
+    | In _, _ -> err "last instruction must be out"
+    | _, _ -> err "first instruction must be in"
+
+let is_valid p = Result.is_ok (validate p)
+
+(** All variables mentioned anywhere in the program. *)
+let all_vars (p : program) : var list =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let add x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      acc := x :: !acc
+    end
+  in
+  Array.iter
+    (fun i ->
+      List.iter add (defs_of_instr i);
+      List.iter add (uses_of_instr i))
+    p;
+  List.rev !acc
+
+(** Input variables declared by the [in] instruction. *)
+let input_vars (p : program) =
+  match p.(0) with In xs -> xs | _ -> invalid_arg "Ast.input_vars: program does not start with in"
+
+(** Output variables declared by the [out] instruction. *)
+let output_vars (p : program) =
+  match p.(Array.length p - 1) with
+  | Out xs -> xs
+  | _ -> invalid_arg "Ast.output_vars: program does not end with out"
+
+(** Relocate jump targets by [delta] — used by program composition
+    (Definition 3.3) and by splicing of compensation code. *)
+let relocate_instr delta = function
+  | Goto m -> Goto (m + delta)
+  | If (e, m) -> If (e, m + delta)
+  | (Assign _ | Skip | Abort | In _ | Out _) as i -> i

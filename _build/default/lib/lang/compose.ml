@@ -1,0 +1,40 @@
+(** Program composition (Definition 3.3): [p ∘ p'] runs [p] and feeds its
+    outputs to [p'].  Used to compose compensation codes when composing OSR
+    mappings (Theorem 3.4). *)
+
+(** [composable p p'] holds iff the inputs of [p'] are a subset of the
+    outputs of [p]. *)
+let composable (p : Ast.program) (p' : Ast.program) : bool =
+  Ast.is_valid p && Ast.is_valid p'
+  &&
+  let outs = Ast.output_vars p and ins = Ast.input_vars p' in
+  List.for_all (fun x -> List.mem x outs) ins
+
+(** [compose p p'] is [p ∘ p' = ⟨I_1 … I_{n-1}, Î'_2 … Î'_{n'}⟩], where each
+    [Î'_i] has its goto targets relocated by [n - 2] (Definition 3.3 verbatim;
+    the [-2] accounts for dropping [p]'s [out] and [p']'s [in]).
+
+    The resulting program declares [p]'s inputs and [p']'s outputs, and
+    satisfies [[[p ∘ p']] = [[p']] ∘ [[p]]] — but note the asymmetry the paper
+    glosses over: [p]'s [out] restricts the store, while composition keeps
+    [p]'s working variables alive across the seam.  This is harmless for OSR
+    compensation codes, which only promise agreement on live variables at the
+    landing point.
+    @raise Invalid_argument if the two programs are not composable *)
+let compose (p : Ast.program) (p' : Ast.program) : Ast.program =
+  if not (composable p p') then invalid_arg "Compose.compose: programs are not composable";
+  let n = Ast.length p in
+  let prefix = Array.sub p 0 (n - 1) in
+  let suffix = Array.sub p' 1 (Ast.length p' - 1) in
+  let relocated = Array.map (Ast.relocate_instr (n - 2)) suffix in
+  Array.append prefix relocated
+
+(** Build a straight-line program from [in], a list of assignments, and
+    [out] — the normal form of compensation code. *)
+let of_assignments ~(inputs : Ast.var list) ~(outputs : Ast.var list)
+    (assigns : (Ast.var * Ast.expr) list) : Ast.program =
+  let body = List.map (fun (x, e) -> Ast.Assign (x, e)) assigns in
+  Array.of_list ((Ast.In inputs :: body) @ [ Ast.Out outputs ])
+
+(** The identity program on [vars]: [⟨in vars, out vars⟩]. *)
+let identity (vars : Ast.var list) : Ast.program = [| Ast.In vars; Ast.Out vars |]

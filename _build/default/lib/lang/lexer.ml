@@ -1,0 +1,137 @@
+(** Hand-rolled lexer for the concrete program syntax.  Newlines are
+    significant: they terminate instructions. *)
+
+type token =
+  | IDENT of string
+  | NUM of int
+  | ASSIGN  (* := *)
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | BANGEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | NEWLINE
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUM n -> Printf.sprintf "number %d" n
+  | ASSIGN -> "':='"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQEQ -> "'=='"
+  | BANGEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | NEWLINE -> "newline"
+  | EOF -> "end of input"
+
+exception Lex_error of string * int  (** message, line number *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize [src] into a list of (token, line) pairs ending with [EOF].
+    Comments start with [#] or [//] and run to end of line.  Consecutive
+    newlines are collapsed into one [NEWLINE] token. *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit t = toks := (t, !line) :: !toks in
+  let last_was_newline () = match !toks with (NEWLINE, _) :: _ | [] -> true | _ -> false in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      if not (last_was_newline ()) then emit NEWLINE;
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' || (c = '/' && peek 1 = Some '/') then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      emit (NUM (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      emit (IDENT (String.sub src !i (!j - !i)));
+      i := !j
+    end
+    else begin
+      let two = match peek 1 with Some c2 -> Printf.sprintf "%c%c" c c2 | None -> "" in
+      match two with
+      | ":=" ->
+          emit ASSIGN;
+          i := !i + 2
+      | "==" ->
+          emit EQEQ;
+          i := !i + 2
+      | "!=" ->
+          emit BANGEQ;
+          i := !i + 2
+      | "<=" ->
+          emit LE;
+          i := !i + 2
+      | ">=" ->
+          emit GE;
+          i := !i + 2
+      | "&&" ->
+          emit ANDAND;
+          i := !i + 2
+      | "||" ->
+          emit OROR;
+          i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '(' -> emit LPAREN
+          | ')' -> emit RPAREN
+          | '+' -> emit PLUS
+          | '-' -> emit MINUS
+          | '*' -> emit STAR
+          | '/' -> emit SLASH
+          | '%' -> emit PERCENT
+          | '<' -> emit LT
+          | '>' -> emit GT
+          | '!' -> emit BANG
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)))
+    end
+  done;
+  if not (last_was_newline ()) then emit NEWLINE;
+  emit EOF;
+  List.rev !toks

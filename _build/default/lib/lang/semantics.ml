@@ -1,0 +1,168 @@
+(** Big-step operational semantics of Figure 2, plus trace capture
+    (Definition 2.6) and the program semantic function (Definition 2.4). *)
+
+(** A program state (Definition 2.3): the store and the 1-based point of the
+    next instruction.  The distinguished point [|p| + 1] marks termination. *)
+type state = { sigma : Store.t; point : int }
+
+let equal_state a b = a.point = b.point && Store.equal a.sigma b.sigma
+
+let pp_state ppf s = Fmt.pf ppf "(%a, %d)" Store.pp s.sigma s.point
+
+(** Why a program's semantics is undefined on some input (the paper folds all
+    of these into "does not reach the final out instruction"). *)
+type stuck_reason =
+  | Undefined_variable of Ast.var * int  (** variable, point *)
+  | Division_by_zero of int
+  | Aborted of int
+  | In_check_failed of Ast.var * int  (** input variable not defined on entry *)
+  | Out_check_failed of Ast.var * int
+
+let pp_stuck_reason ppf = function
+  | Undefined_variable (x, l) -> Fmt.pf ppf "undefined variable %s at point %d" x l
+  | Division_by_zero l -> Fmt.pf ppf "division by zero at point %d" l
+  | Aborted l -> Fmt.pf ppf "abort at point %d" l
+  | In_check_failed (x, l) -> Fmt.pf ppf "input variable %s undefined at point %d" x l
+  | Out_check_failed (x, l) -> Fmt.pf ppf "output variable %s undefined at point %d" x l
+
+exception Stuck of stuck_reason
+
+(** Expression evaluation — the [⇓] relation.  All operators produce
+    integers; booleans use 0 / 1.  Division and modulo by zero, and reads of
+    ⊥ variables, raise {!Stuck}. *)
+let rec eval_expr (sigma : Store.t) ~(point : int) (e : Ast.expr) : int =
+  match e with
+  | Num n -> n
+  | Var x -> (
+      match Store.get sigma x with
+      | Some v -> v
+      | None -> raise (Stuck (Undefined_variable (x, point))))
+  | Unop (Neg, a) -> -eval_expr sigma ~point a
+  | Unop (Not, a) -> if eval_expr sigma ~point a = 0 then 1 else 0
+  | Binop (op, a, b) -> (
+      let va = eval_expr sigma ~point a in
+      (* && and || are not short-circuiting: both operands are constituents of
+         the expression, which matters for liveness (Theorem 3.2's proof
+         relies on every variable of an evaluated expression being live). *)
+      let vb = eval_expr sigma ~point b in
+      match op with
+      | Add -> va + vb
+      | Sub -> va - vb
+      | Mul -> va * vb
+      | Div -> if vb = 0 then raise (Stuck (Division_by_zero point)) else va / vb
+      | Mod -> if vb = 0 then raise (Stuck (Division_by_zero point)) else va mod vb
+      | Eq -> if va = vb then 1 else 0
+      | Ne -> if va <> vb then 1 else 0
+      | Lt -> if va < vb then 1 else 0
+      | Le -> if va <= vb then 1 else 0
+      | Gt -> if va > vb then 1 else 0
+      | Ge -> if va >= vb then 1 else 0
+      | And -> if va <> 0 && vb <> 0 then 1 else 0
+      | Or -> if va <> 0 || vb <> 0 then 1 else 0)
+
+(** One transition of the relation [=>_p] (Figure 2).
+    @raise Stuck when no rule applies (abort, ⊥ reads, failed in/out checks)
+    @raise Invalid_argument when [s.point] is outside [1..|p|] *)
+let step (p : Ast.program) (s : state) : state =
+  let l = s.point in
+  let sigma = s.sigma in
+  match Ast.instr_at p l with
+  | Assign (x, e) ->
+      let v = eval_expr sigma ~point:l e in
+      { sigma = Store.set sigma x v; point = l + 1 }
+  | Goto m -> { sigma; point = m }
+  | Skip -> { sigma; point = l + 1 }
+  | If (e, m) ->
+      let v = eval_expr sigma ~point:l e in
+      if v <> 0 then { sigma; point = m } else { sigma; point = l + 1 }
+  | Abort -> raise (Stuck (Aborted l))
+  | In xs -> (
+      match List.find_opt (fun x -> not (Store.is_defined sigma x)) xs with
+      | Some x -> raise (Stuck (In_check_failed (x, l)))
+      | None -> { sigma; point = l + 1 })
+  | Out xs -> (
+      match List.find_opt (fun x -> not (Store.is_defined sigma x)) xs with
+      | Some x -> raise (Stuck (Out_check_failed (x, l)))
+      | None -> { sigma = Store.restrict sigma xs; point = Ast.length p + 1 })
+
+type outcome =
+  | Terminated of Store.t  (** reached point [|p| + 1]; store is [σ'|_outs] *)
+  | Stuck_at of stuck_reason
+  | Out_of_fuel of state
+
+let equal_outcome a b =
+  match (a, b) with
+  | Terminated s1, Terminated s2 -> Store.equal s1 s2
+  | Stuck_at r1, Stuck_at r2 -> r1 = r2
+  | Out_of_fuel s1, Out_of_fuel s2 -> equal_state s1 s2
+  | (Terminated _ | Stuck_at _ | Out_of_fuel _), _ -> false
+
+let pp_outcome ppf = function
+  | Terminated s -> Fmt.pf ppf "terminated %a" Store.pp s
+  | Stuck_at r -> Fmt.pf ppf "stuck: %a" pp_stuck_reason r
+  | Out_of_fuel s -> Fmt.pf ppf "out of fuel at %a" pp_state s
+
+let default_fuel = 100_000
+
+(** Run [p] from initial store [sigma] for at most [fuel] transitions.
+    This realizes the semantic function [[p]] (Definition 2.4) up to the fuel
+    bound, which stands in for genuine divergence. *)
+let run ?(fuel = default_fuel) (p : Ast.program) (sigma : Store.t) : outcome =
+  let n = Ast.length p in
+  let rec go s budget =
+    if s.point = n + 1 then Terminated s.sigma
+    else if budget = 0 then Out_of_fuel s
+    else
+      match step p s with
+      | s' -> go s' (budget - 1)
+      | exception Stuck r -> Stuck_at r
+  in
+  go { sigma; point = 1 } fuel
+
+(** The prefix of the (unique, deterministic) trace [τ_p^σ] starting at
+    [(σ, 1)], up to [fuel] transitions.  The terminal state at point
+    [|p| + 1] is included when reached; a stuck suffix is cut off. *)
+let trace ?(fuel = default_fuel) (p : Ast.program) (sigma : Store.t) : state list =
+  let n = Ast.length p in
+  let rec go s budget acc =
+    let acc = s :: acc in
+    if s.point = n + 1 || budget = 0 then List.rev acc
+    else
+      match step p s with
+      | s' -> go s' (budget - 1) acc
+      | exception Stuck _ -> List.rev acc
+  in
+  go { sigma; point = 1 } fuel []
+
+(** Run until the first time execution is {e about to execute} point
+    [target] (i.e., reaches state [(σ, target)]); used to set up OSR source
+    states.  Returns [None] if the point is never reached within [fuel]. *)
+let run_to_point ?(fuel = default_fuel) (p : Ast.program) (sigma : Store.t) ~(target : int) :
+    state option =
+  let n = Ast.length p in
+  let rec go s budget =
+    if s.point = target then Some s
+    else if s.point = n + 1 || budget = 0 then None
+    else match step p s with s' -> go s' (budget - 1) | exception Stuck _ -> None
+  in
+  go { sigma; point = 1 } fuel
+
+(** Continue execution from an arbitrary state (used to resume after an OSR
+    transition lands in the middle of a program). *)
+let run_from ?(fuel = default_fuel) (p : Ast.program) (s : state) : outcome =
+  let n = Ast.length p in
+  let rec go s budget =
+    if s.point = n + 1 then Terminated s.sigma
+    else if budget = 0 then Out_of_fuel s
+    else
+      match step p s with
+      | s' -> go s' (budget - 1)
+      | exception Stuck r -> Stuck_at r
+  in
+  go s fuel
+
+(** Semantic equivalence check on a sample of input stores
+    (Definition 2.5, testable approximation). *)
+let equivalent_on ?(fuel = default_fuel) (p1 : Ast.program) (p2 : Ast.program)
+    (inputs : Store.t list) : bool =
+  List.for_all (fun sigma -> equal_outcome (run ~fuel p1 sigma) (run ~fuel p2 sigma)) inputs

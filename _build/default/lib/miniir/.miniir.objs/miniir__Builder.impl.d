@@ -1,0 +1,1 @@
+lib/miniir/builder.ml: Ir List Printf

@@ -1,0 +1,1 @@
+lib/miniir/dom.ml: Array Hashtbl Ir List Option String

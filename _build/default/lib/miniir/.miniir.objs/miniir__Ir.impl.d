@@ -1,0 +1,1 @@
+lib/miniir/ir.ml: Buffer Fmt Hashtbl Int List Printf String

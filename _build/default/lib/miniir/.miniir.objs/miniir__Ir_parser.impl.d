@@ -1,0 +1,1 @@
+lib/miniir/ir_parser.ml: Buffer Builder Ir List Printf String

@@ -1,0 +1,1 @@
+lib/miniir/liveness.ml: Hashtbl Ir List Set String

@@ -1,0 +1,1 @@
+lib/miniir/loops.ml: Dom Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/miniir/verifier.ml: Dom Fmt Hashtbl Ir List Option Printf String

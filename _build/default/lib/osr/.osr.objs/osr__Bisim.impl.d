@@ -1,0 +1,1 @@
+lib/osr/bisim.ml: Fmt Langcfg List Minilang Printf

@@ -1,0 +1,1 @@
+lib/osr/bisim.mli: Format Minilang

@@ -1,0 +1,1 @@
+lib/osr/comp_code.ml: Fmt Hashtbl List Minilang String

@@ -1,0 +1,1 @@
+lib/osr/comp_code.mli: Format Minilang

@@ -1,0 +1,1 @@
+lib/osr/mapping.ml: Array Comp_code Fmt Langcfg List Minilang Option Printf String

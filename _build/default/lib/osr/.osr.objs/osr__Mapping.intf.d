@@ -1,0 +1,1 @@
+lib/osr/mapping.mli: Comp_code Minilang

@@ -1,0 +1,1 @@
+lib/osr/osr_trans.ml: List Mapping Minilang Option Reconstruct Rewrite

@@ -1,0 +1,1 @@
+lib/osr/osr_trans.mli: Mapping Minilang Reconstruct Rewrite

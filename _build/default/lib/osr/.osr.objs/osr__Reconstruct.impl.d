@@ -1,0 +1,1 @@
+lib/osr/reconstruct.ml: Comp_code Hashtbl Langcfg List Minilang Result String

@@ -1,0 +1,1 @@
+lib/osr/reconstruct.mli: Comp_code Minilang Result

@@ -1,0 +1,132 @@
+(** Live-variable bisimilarity (Definitions 4.1–4.3), as a testable,
+    bounded check: co-execute two program versions from the same store and
+    verify that corresponding states agree on the variables live in both.
+
+    For the in-place transformations of this library, corresponding states
+    share both the trace index and the program point, which is exactly the
+    partial state equivalence relation [R_A] of Definition 4.2 with
+    [A = l ↦ live(p,l) ∩ live(p',l)]. *)
+
+type violation = {
+  index : int;  (** trace position *)
+  point_p : int;
+  point_p' : int;
+  variable : Minilang.Ast.var option;  (** [None] = control divergence *)
+  detail : string;
+}
+
+let pp_violation ppf (v : violation) =
+  Fmt.pf ppf "trace index %d (points %d/%d): %s" v.index v.point_p v.point_p' v.detail
+
+(** Check LVB on a single input store, up to [fuel] steps.  [Ok steps]
+    reports how many corresponding state pairs were checked. *)
+let check_on_input ?(fuel = 2000) (p : Minilang.Ast.program) (p' : Minilang.Ast.program)
+    (sigma0 : Minilang.Store.t) : (int, violation) result =
+  let live_p = Langcfg.Live_vars.analyze (Langcfg.Cfg.build p) in
+  let live_p' = Langcfg.Live_vars.analyze (Langcfg.Cfg.build p') in
+  let tp = Minilang.Semantics.trace ~fuel p sigma0 in
+  let tp' = Minilang.Semantics.trace ~fuel p' sigma0 in
+  let n = Minilang.Ast.length p and n' = Minilang.Ast.length p' in
+  let rec go i (a : Minilang.Semantics.state list) (b : Minilang.Semantics.state list) =
+    match (a, b) with
+    | [], [] -> Ok i
+    | [], s :: _ | s :: _, [] ->
+        (* One trace ended early (stuck or out of fuel): a genuine length
+           mismatch violates bisimilarity, but fuel exhaustion is
+           inconclusive, so only flag when both would have continued. *)
+        if i >= fuel then Ok i
+        else
+          Error
+            {
+              index = i;
+              point_p = s.point;
+              point_p' = s.point;
+              variable = None;
+              detail = "traces have different lengths";
+            }
+    | sa :: a', sb :: b' ->
+        if sa.point <> sb.point && not (sa.point = n + 1 && sb.point = n' + 1) then
+          Error
+            {
+              index = i;
+              point_p = sa.point;
+              point_p' = sb.point;
+              variable = None;
+              detail = "control flow diverged";
+            }
+        else
+          let l = sa.point in
+          let common =
+            if l > n || l > n' then []
+            else
+              List.filter
+                (Langcfg.Live_vars.is_live live_p' l)
+                (Langcfg.Live_vars.live_at live_p l)
+          in
+          let bad =
+            List.find_opt
+              (fun x -> Minilang.Store.get sa.sigma x <> Minilang.Store.get sb.sigma x)
+              common
+          in
+          (match bad with
+          | Some x ->
+              Error
+                {
+                  index = i;
+                  point_p = sa.point;
+                  point_p' = sb.point;
+                  variable = Some x;
+                  detail =
+                    Fmt.str "live-in-both variable %s: %a vs %a" x
+                      (Fmt.option ~none:(Fmt.any "⊥") Fmt.int)
+                      (Minilang.Store.get sa.sigma x)
+                      (Fmt.option ~none:(Fmt.any "⊥") Fmt.int)
+                      (Minilang.Store.get sb.sigma x);
+                }
+          | None -> go (i + 1) a' b')
+  in
+  go 0 tp tp'
+
+(** Check LVB over a list of input stores; first violation wins. *)
+let check (p : Minilang.Ast.program) (p' : Minilang.Ast.program) (inputs : Minilang.Store.t list)
+    : (unit, violation) result =
+  List.fold_left
+    (fun acc sigma -> match acc with Error _ -> acc | Ok () -> (
+      match check_on_input p p' sigma with Ok _ -> Ok () | Error v -> Error v))
+    (Ok ()) inputs
+
+(** Theorem 3.2 as a runnable check: from any state [(σ, l)] on [p]'s trace,
+    continuing with the store restricted to [live(p, l)] produces the same
+    final result.  Returns the first failure. *)
+let check_live_restriction ?(fuel = 2000) (p : Minilang.Ast.program) (sigma0 : Minilang.Store.t)
+    : (unit, string) result =
+  let live = Langcfg.Live_vars.analyze (Langcfg.Cfg.build p) in
+  let states = Minilang.Semantics.trace ~fuel p sigma0 in
+  let n = Minilang.Ast.length p in
+  let outs = Minilang.Ast.output_vars p in
+  let check_state (s : Minilang.Semantics.state) =
+    (* Point 1 is excluded: live(p, 1) = ∅ (nothing is defined before the
+       [in] instruction executes), yet rule (6) of Figure 2 reads the input
+       variables, so restriction would fail the in-check.  Theorem 3.2
+       concerns states strictly after entry. *)
+    if s.point > n || s.point = 1 then Ok ()
+    else
+      let restricted =
+        {
+          Minilang.Semantics.sigma =
+            Minilang.Store.restrict s.sigma (Langcfg.Live_vars.live_at live s.point);
+          point = s.point;
+        }
+      in
+      let o1 = Minilang.Semantics.run_from ~fuel p s in
+      let o2 = Minilang.Semantics.run_from ~fuel p restricted in
+      match (o1, o2) with
+      | Terminated a, Terminated b ->
+          if Minilang.Store.agree_on outs a b then Ok ()
+          else Error (Printf.sprintf "outputs differ when restricting at point %d" s.point)
+      | Stuck_at _, Stuck_at _ | Out_of_fuel _, Out_of_fuel _ -> Ok ()
+      | _, _ -> Error (Printf.sprintf "outcome class differs when restricting at point %d" s.point)
+  in
+  List.fold_left
+    (fun acc s -> match acc with Error _ -> acc | Ok () -> check_state s)
+    (Ok ()) states

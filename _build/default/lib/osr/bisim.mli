@@ -1,0 +1,37 @@
+(** Live-variable bisimilarity (Definitions 4.1–4.3) as a testable, bounded
+    check, plus Theorem 3.2 as a runnable oracle. *)
+
+type violation = {
+  index : int;  (** trace position *)
+  point_p : int;
+  point_p' : int;
+  variable : Minilang.Ast.var option;  (** [None] = control divergence *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_on_input :
+  ?fuel:int ->
+  Minilang.Ast.program ->
+  Minilang.Ast.program ->
+  Minilang.Store.t ->
+  (int, violation) result
+(** Co-execute the two versions from one store and verify that
+    corresponding states agree on the variables live in both — the partial
+    state equivalence [R_A] of Definition 4.2 with
+    [A = l ↦ live(p,l) ∩ live(p',l)].  [Ok n] reports the number of state
+    pairs checked. *)
+
+val check :
+  Minilang.Ast.program ->
+  Minilang.Ast.program ->
+  Minilang.Store.t list ->
+  (unit, violation) result
+(** {!check_on_input} over several inputs; first violation wins. *)
+
+val check_live_restriction :
+  ?fuel:int -> Minilang.Ast.program -> Minilang.Store.t -> (unit, string) result
+(** Theorem 3.2 as a check: from every state on the program's trace
+    (except point 1 — see DESIGN.md), continuing with the store restricted
+    to [live(p, l)] yields the same final output. *)

@@ -1,0 +1,60 @@
+(** Compensation code: the glue a transition executes to fix the memory
+    store before resuming in the target program version (Definition 3.1).
+
+    [reconstruct] only ever emits straight-line assignment sequences, so we
+    represent compensation code in that normal form; {!to_program} injects it
+    into the full program type for composition (Theorem 3.4). *)
+
+type t = (Minilang.Ast.var * Minilang.Ast.expr) list
+(** Executed left to right: later assignments may read earlier ones. *)
+
+let empty : t = []
+let is_empty (c : t) = c = []
+
+(** Number of instructions — the |c| metric of Table 3. *)
+let size (c : t) = List.length c
+
+(** Execute the compensation code on a store — the [[[c]]] of
+    Definition 3.1, without the in/out ceremony.
+    @raise Minilang.Semantics.Stuck if an assignment reads ⊥ *)
+let eval (c : t) (sigma : Minilang.Store.t) : Minilang.Store.t =
+  List.fold_left
+    (fun sigma (x, e) ->
+      Minilang.Store.set sigma x (Minilang.Semantics.eval_expr sigma ~point:0 e))
+    sigma c
+
+(** Sequential composition [c ∘ c']: run [c], then [c']. *)
+let compose (c : t) (c' : t) : t = c @ c'
+
+(** Variables read by the compensation code before they are written by it —
+    these must be defined in the source store. *)
+let inputs (c : t) : Minilang.Ast.var list =
+  let defined = Hashtbl.create 8 in
+  let acc = ref [] in
+  List.iter
+    (fun (x, e) ->
+      List.iter
+        (fun y ->
+          if (not (Hashtbl.mem defined y)) && not (List.mem y !acc) then acc := y :: !acc)
+        (Minilang.Ast.expr_vars e);
+      Hashtbl.replace defined x ())
+    c;
+  List.rev !acc
+
+(** Variables written. *)
+let outputs (c : t) : Minilang.Ast.var list =
+  List.sort_uniq String.compare (List.map fst c)
+
+(** Embed as a full program [⟨in …, assignments, out …⟩] so that mapping
+    composition can literally use [Compose.compose] (Definition 3.3).
+    [carry] lists extra variables to thread through unchanged. *)
+let to_program ?(carry = []) (c : t) : Minilang.Ast.program =
+  let ins = List.sort_uniq String.compare (inputs c @ carry) in
+  let outs = List.sort_uniq String.compare (outputs c @ carry) in
+  Minilang.Compose.of_assignments ~inputs:ins ~outputs:outs c
+
+let pp ppf (c : t) =
+  let pp_one ppf (x, e) = Fmt.pf ppf "%s := %s" x (Minilang.Pretty.expr_to_string e) in
+  if c = [] then Fmt.pf ppf "⟨⟩" else Fmt.pf ppf "⟨%a⟩" (Fmt.list ~sep:(Fmt.any "; ") pp_one) c
+
+let to_string c = Fmt.str "%a" pp c

@@ -1,0 +1,37 @@
+(** Compensation code: the glue a transition executes to fix the memory
+    store before resuming in the target program version (Definition 3.1).
+    [reconstruct] only ever emits straight-line assignment sequences, so
+    compensation code is kept in that normal form. *)
+
+type t = (Minilang.Ast.var * Minilang.Ast.expr) list
+(** Executed left to right: later assignments may read earlier ones. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val size : t -> int
+(** Number of instructions — the |c| metric of Table 3. *)
+
+val eval : t -> Minilang.Store.t -> Minilang.Store.t
+(** Execute on a store — the [[[c]]] of Definition 3.1 without the in/out
+    ceremony.
+    @raise Minilang.Semantics.Stuck if an assignment reads ⊥ *)
+
+val compose : t -> t -> t
+(** Sequential composition [c ∘ c']: run the first, then the second. *)
+
+val inputs : t -> Minilang.Ast.var list
+(** Variables read before being written — these must be defined in the
+    source store. *)
+
+val outputs : t -> Minilang.Ast.var list
+(** Variables written, sorted. *)
+
+val to_program : ?carry:Minilang.Ast.var list -> t -> Minilang.Ast.program
+(** Embed as a full [⟨in …, assignments, out …⟩] program so that mapping
+    composition can literally use {!Minilang.Compose.compose}
+    (Definition 3.3).  [carry] lists extra variables threaded through
+    unchanged. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,141 @@
+(** OSR mappings (Definition 3.1): a possibly partial function from points
+    of the source program to (landing point, compensation code) pairs in the
+    target program, together with composition (Theorem 3.4) and dynamic
+    verification oracles used by the test suite. *)
+
+type entry = { target : int; comp : Comp_code.t }
+
+type t = {
+  src : Minilang.Ast.program;
+  dst : Minilang.Ast.program;
+  entries : entry option array;  (** index [l-1] holds the entry for point [l] *)
+  strict : bool;  (** claimed strictness (σ̂' = σ̂); verified dynamically *)
+}
+
+let make ~src ~dst ?(strict = true) (assoc : (int * entry) list) : t =
+  let entries = Array.make (Minilang.Ast.length src) None in
+  List.iter (fun (l, e) -> entries.(l - 1) <- Some e) assoc;
+  { src; dst; entries; strict }
+
+(** The mapping's value at point [l], if defined there. *)
+let find (m : t) (l : int) : entry option =
+  if l < 1 || l > Array.length m.entries then None else m.entries.(l - 1)
+
+(** Domain of the partial function. *)
+let dom (m : t) : int list =
+  let acc = ref [] in
+  Array.iteri (fun i e -> if e <> None then acc := (i + 1) :: !acc) m.entries;
+  List.rev !acc
+
+let is_total (m : t) = Array.for_all Option.is_some m.entries
+
+(** Fraction of source points where OSR is supported — the headline metric
+    of Figures 7 and 8. *)
+let coverage (m : t) : float =
+  float_of_int (List.length (dom m)) /. float_of_int (Array.length m.entries)
+
+(** Composition of mappings (Theorem 3.4): [(M ∘ M')(l) = (l'', c ∘ c')]
+    whenever [M(l) = (l', c)] and [M'(l') = (l'', c')]. *)
+let compose (m1 : t) (m2 : t) : t =
+  if not (Minilang.Ast.equal_program m1.dst m2.src) then
+    invalid_arg "Mapping.compose: m1's target program differs from m2's source";
+  let entries =
+    Array.map
+      (fun e ->
+        match e with
+        | None -> None
+        | Some { target = l'; comp = c } -> (
+            match find m2 l' with
+            | None -> None
+            | Some { target = l''; comp = c' } ->
+                Some { target = l''; comp = Comp_code.compose c c' }))
+      m1.entries
+  in
+  { src = m1.src; dst = m2.dst; entries; strict = m1.strict && m2.strict }
+
+(** Fire the transition encoded at source state [(sigma, l)]: compute the
+    fixed store and the landing state in [dst].  [None] if the mapping is
+    undefined at [l]. *)
+let transition (m : t) (s : Minilang.Semantics.state) : Minilang.Semantics.state option =
+  match find m s.point with
+  | None -> None
+  | Some { target; comp } -> (
+      match Comp_code.eval comp s.sigma with
+      | sigma' -> Some { Minilang.Semantics.sigma = sigma'; point = target }
+      | exception Minilang.Semantics.Stuck _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic verification oracles                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Check Definition 3.1 for a {e strict} mapping between LVB program
+    versions, on one input store: co-execute [src] and [dst] from [sigma0];
+    whenever [src] is at a point [l ∈ dom(M)] at trace index [i], the
+    compensated store [[[c]](σ)] must agree with [dst]'s store at index [i]
+    on [live(dst, l')].  Returns the first violation found. *)
+let check_strict_on_input ?(fuel = 2000) (m : t) (sigma0 : Minilang.Store.t) :
+    (unit, string) result =
+  let live_dst = Langcfg.Live_vars.analyze (Langcfg.Cfg.build m.dst) in
+  let tr_src = Minilang.Semantics.trace ~fuel m.src sigma0 in
+  let tr_dst = Minilang.Semantics.trace ~fuel m.dst sigma0 in
+  let rec go i (ts : Minilang.Semantics.state list) (td : Minilang.Semantics.state list) =
+    match (ts, td) with
+    | [], _ | _, [] -> Ok ()
+    | s :: ts', d :: td' -> (
+        match find m s.point with
+        | None -> go (i + 1) ts' td'
+        | Some { target; comp } ->
+            if d.point <> target then
+              Error
+                (Printf.sprintf
+                   "index %d: source at %d maps to %d but target trace is at %d" i s.point
+                   target d.point)
+            else (
+              match Comp_code.eval comp s.sigma with
+              | fixed ->
+                  let lv = Langcfg.Live_vars.live_at live_dst target in
+                  if Minilang.Store.agree_on lv fixed d.sigma then go (i + 1) ts' td'
+                  else
+                    Error
+                      (Printf.sprintf
+                         "index %d: OSR %d→%d: compensated store %s disagrees with %s on live %s"
+                         i s.point target
+                         (Minilang.Store.to_string (Minilang.Store.restrict fixed lv))
+                         (Minilang.Store.to_string (Minilang.Store.restrict d.sigma lv))
+                         (String.concat "," lv))
+              | exception Minilang.Semantics.Stuck r ->
+                  Error
+                    (Fmt.str "index %d: compensation code stuck: %a" i
+                       Minilang.Semantics.pp_stuck_reason r)))
+  in
+  go 0 tr_src tr_dst
+
+(** End-to-end resumption check (the consequence of Theorem 3.2): run [src]
+    until it is about to execute [osr_at], fire the transition, resume in
+    [dst], and compare the final outcome with running [src] to completion.
+    Sound for semantics-preserving versions. *)
+let check_resumption ?(fuel = 2000) (m : t) (sigma0 : Minilang.Store.t) ~(osr_at : int) :
+    (unit, string) result =
+  match Minilang.Semantics.run_to_point ~fuel m.src sigma0 ~target:osr_at with
+  | None -> Ok ()  (* point not reached on this input: nothing to check *)
+  | Some s -> (
+      match transition m s with
+      | None -> Error (Printf.sprintf "mapping undefined or stuck at reached point %d" osr_at)
+      | Some landing ->
+          let resumed = Minilang.Semantics.run_from ~fuel m.dst landing in
+          let reference = Minilang.Semantics.run ~fuel m.src sigma0 in
+          let ok =
+            match (resumed, reference) with
+            | Terminated a, Terminated b ->
+                (* Both stores are already restricted to the respective out
+                   variables; compare on the source outputs. *)
+                Minilang.Store.agree_on (Minilang.Ast.output_vars m.src) a b
+            | Stuck_at _, Stuck_at _ -> true  (* both undefined *)
+            | Out_of_fuel _, _ | _, Out_of_fuel _ -> true  (* inconclusive *)
+            | (Terminated _ | Stuck_at _), _ -> false
+          in
+          if ok then Ok ()
+          else
+            Error
+              (Fmt.str "OSR at %d: resumed %a but reference %a" osr_at
+                 Minilang.Semantics.pp_outcome resumed Minilang.Semantics.pp_outcome reference))

@@ -1,0 +1,54 @@
+(** OSR mappings (Definition 3.1): a possibly partial function from points
+    of the source program to (landing point, compensation code) pairs in
+    the target program, together with composition (Theorem 3.4) and dynamic
+    verification oracles. *)
+
+type entry = { target : int; comp : Comp_code.t }
+
+type t = {
+  src : Minilang.Ast.program;
+  dst : Minilang.Ast.program;
+  entries : entry option array;  (** index [l-1] holds the entry for point [l] *)
+  strict : bool;  (** claimed strictness (σ̂' = σ̂); verified dynamically *)
+}
+
+val make :
+  src:Minilang.Ast.program ->
+  dst:Minilang.Ast.program ->
+  ?strict:bool ->
+  (int * entry) list ->
+  t
+
+val find : t -> int -> entry option
+(** The mapping's value at a point, if defined there. *)
+
+val dom : t -> int list
+(** Domain of the partial function, ascending. *)
+
+val is_total : t -> bool
+
+val coverage : t -> float
+(** Fraction of source points where OSR is supported — the headline metric
+    of Figures 7 and 8. *)
+
+val compose : t -> t -> t
+(** Composition of mappings (Theorem 3.4): [(M ∘ M')(l) = (l'', c ∘ c')]
+    whenever [M(l) = (l', c)] and [M'(l') = (l'', c')].
+    @raise Invalid_argument when the middle programs differ *)
+
+val transition : t -> Minilang.Semantics.state -> Minilang.Semantics.state option
+(** Fire the transition encoded at a source state: evaluate the
+    compensation code and land in the target program.  [None] if the
+    mapping is undefined at the state's point (or compensation is stuck). *)
+
+val check_strict_on_input :
+  ?fuel:int -> t -> Minilang.Store.t -> (unit, string) result
+(** Dynamic Definition 3.1 check for strict mappings between LVB program
+    versions: co-execute both programs and compare the compensated store
+    with the target store on [live(dst, l')] at every mapped point. *)
+
+val check_resumption :
+  ?fuel:int -> t -> Minilang.Store.t -> osr_at:int -> (unit, string) result
+(** End-to-end oracle (the consequence of Theorem 3.2): run the source
+    until [osr_at], fire the transition, resume in the target, and compare
+    the final outcome with never transitioning. *)

@@ -1,0 +1,114 @@
+(** The [OSR_trans(p, T) → (p', M_pp', M_p'p)] algorithm of Section 4.2:
+    apply an LVE transformation and automatically build the forward and
+    backward OSR mappings by invoking [reconstruct] at every point pair.
+
+    Our rewrite rules all rewrite in place, so [apply] returns the identity
+    point mapping Δ — exactly the hypothesis under which Theorem 4.6
+    guarantees that the produced mappings are strict and correct. *)
+
+type delta = int -> int option
+(** Point correspondence between program versions ([None] = unmapped). *)
+
+type applied = {
+  p' : Minilang.Ast.program;
+  delta_fwd : delta;  (** points of [p] → points of [p'] *)
+  delta_bwd : delta;
+}
+
+(** [apply p T]: builds [p' = ⌈T⌉(p)] — a {e single} application of the rule
+    (Definition 2.9) — and the two point-mapping functions; subroutine 1 of
+    Section 4.2.  Returns [p] itself when the rule does not apply.
+
+    A single application matters for soundness: live-variable bisimilarity
+    is {e not} transitive (an intermediate version may lose liveness of a
+    variable live in both endpoints), so reconstruct's line-4 reasoning is
+    only valid between a program and its one-step rewrite.  Sequences of
+    applications are handled by composing per-step mappings (Theorem 3.4);
+    see {!osr_trans_fixpoint}. *)
+let apply (rule : Rewrite.Rule.t) (p : Minilang.Ast.program) : applied =
+  let p' = Option.value ~default:p (Rewrite.Engine.apply_first rule p) in
+  let identity l = if l >= 1 && l <= Minilang.Ast.length p then Some l else None in
+  { p'; delta_fwd = identity; delta_bwd = identity }
+
+(** Build the OSR mapping from [src] to [dst] along the given point
+    correspondence: for every pair [(l, l')] in Δ, attempt [reconstruct] for
+    all variables live at the landing point; the mapping is left undefined
+    (partial) where reconstruction throws [undef]. *)
+let build_mapping ?(variant = Reconstruct.Live) ~(src : Minilang.Ast.program)
+    ~(dst : Minilang.Ast.program) (delta : delta) : Mapping.t * (int * Minilang.Ast.var list) list
+    =
+  let ctx = Reconstruct.make_ctx src dst in
+  let entries = ref [] in
+  let keeps = ref [] in
+  for l = 1 to Minilang.Ast.length src do
+    match delta l with
+    | None -> ()
+    | Some l' -> (
+        match Reconstruct.for_point_pair ~variant ctx ~l ~l' with
+        | Ok { comp; keep } ->
+            entries := (l, { Mapping.target = l'; comp }) :: !entries;
+            if keep <> [] then keeps := (l, keep) :: !keeps
+        | Error _ -> ())
+  done;
+  (Mapping.make ~src ~dst ~strict:true (List.rev !entries), List.rev !keeps)
+
+type result = {
+  p' : Minilang.Ast.program;
+  forward : Mapping.t;  (** M_pp' *)
+  backward : Mapping.t;  (** M_p'p *)
+  keep_fwd : (int * Minilang.Ast.var list) list;  (** K_avail per point, p → p' *)
+  keep_bwd : (int * Minilang.Ast.var list) list;
+}
+
+(** [OSR_trans(p, T)]: the complete algorithm for a {e single} application
+    of [T].  With the default [Live] variant and the rules of Figure 5,
+    Theorem 4.6 applies and both mappings are strict. *)
+let osr_trans ?(variant = Reconstruct.Live) (rule : Rewrite.Rule.t) (p : Minilang.Ast.program) :
+    result =
+  let { p'; delta_fwd; delta_bwd } = apply rule p in
+  let forward, keep_fwd = build_mapping ~variant ~src:p ~dst:p' delta_fwd in
+  let backward, keep_bwd = build_mapping ~variant ~src:p' ~dst:p delta_bwd in
+  { p'; forward; backward; keep_fwd; keep_bwd }
+
+(* Compose two step results end to end (Theorem 3.4). *)
+let compose_results (a : result) (b : result) : result =
+  {
+    p' = b.p';
+    forward = Mapping.compose a.forward b.forward;
+    backward = Mapping.compose b.backward a.backward;
+    keep_fwd = a.keep_fwd @ b.keep_fwd;
+    keep_bwd = b.keep_bwd @ a.keep_bwd;
+  }
+
+(** Apply [rule] repeatedly until it no longer changes the program, making
+    each application OSR-aware in isolation and composing the per-step
+    mappings (Theorem 3.4).  This is how a sequence of rewrites becomes one
+    bidirectional OSR mapping without ever relating non-adjacent versions
+    directly (live-variable bisimilarity is not transitive). *)
+let osr_trans_fixpoint ?(variant = Reconstruct.Live) ?(max_steps = 100) (rule : Rewrite.Rule.t)
+    (p : Minilang.Ast.program) : result =
+  let identity_result q =
+    let identity l = if l >= 1 && l <= Minilang.Ast.length q then Some l else None in
+    let m, keep = build_mapping ~variant ~src:q ~dst:q identity in
+    { p' = q; forward = m; backward = m; keep_fwd = keep; keep_bwd = keep }
+  in
+  let rec go acc steps =
+    if steps = 0 then acc
+    else
+      let step = osr_trans ~variant rule acc.p' in
+      if Minilang.Ast.equal_program step.p' acc.p' then acc
+      else go (compose_results acc step) (steps - 1)
+  in
+  go (identity_result p) max_steps
+
+(** Pipeline version: each rule applied to fixpoint in turn, all mappings
+    composed per Theorem 3.4. *)
+let osr_trans_pipeline ?(variant = Reconstruct.Live) (rules : Rewrite.Rule.t list)
+    (p : Minilang.Ast.program) : result =
+  match rules with
+  | [] -> osr_trans_fixpoint ~variant ~max_steps:0 Rewrite.Transforms.dce p
+  | first :: rest ->
+      let r0 = osr_trans_fixpoint ~variant first p in
+      List.fold_left
+        (fun acc rule -> compose_results acc (osr_trans_fixpoint ~variant rule acc.p'))
+        r0 rest

@@ -1,0 +1,59 @@
+(** The [OSR_trans(p, T) → (p', M_pp', M_p'p)] algorithm of Section 4.2:
+    apply an LVE transformation and automatically build the forward and
+    backward OSR mappings.
+
+    Every function here treats {e one} rewrite application at a time and
+    composes per-step mappings (Theorem 3.4) for sequences: live-variable
+    bisimilarity is not transitive, so relating non-adjacent versions
+    directly is unsound (see DESIGN.md, "Deviations and findings"). *)
+
+type delta = int -> int option
+(** Point correspondence between program versions ([None] = unmapped). *)
+
+type applied = {
+  p' : Minilang.Ast.program;
+  delta_fwd : delta;  (** points of [p] → points of [p'] *)
+  delta_bwd : delta;
+}
+
+val apply : Rewrite.Rule.t -> Minilang.Ast.program -> applied
+(** One application of the rule (identity [Δ] — in-place rewriting), the
+    [apply] subroutine of Section 4.2.  Returns [p] unchanged when the rule
+    does not match. *)
+
+val build_mapping :
+  ?variant:Reconstruct.variant ->
+  src:Minilang.Ast.program ->
+  dst:Minilang.Ast.program ->
+  delta ->
+  Mapping.t * (int * Minilang.Ast.var list) list
+(** Build the OSR mapping along a point correspondence; the mapping is left
+    undefined wherever [reconstruct] throws.  Also returns the per-point
+    keep sets ([K_avail]). *)
+
+type result = {
+  p' : Minilang.Ast.program;
+  forward : Mapping.t;  (** M_pp' *)
+  backward : Mapping.t;  (** M_p'p *)
+  keep_fwd : (int * Minilang.Ast.var list) list;
+  keep_bwd : (int * Minilang.Ast.var list) list;
+}
+
+val osr_trans :
+  ?variant:Reconstruct.variant -> Rewrite.Rule.t -> Minilang.Ast.program -> result
+(** [OSR_trans] for a single application; with the [Live] variant and the
+    Figure 5 rules, Theorem 4.6 guarantees both mappings strict and
+    correct. *)
+
+val osr_trans_fixpoint :
+  ?variant:Reconstruct.variant ->
+  ?max_steps:int ->
+  Rewrite.Rule.t ->
+  Minilang.Ast.program ->
+  result
+(** Apply the rule until it no longer changes the program, making each
+    application OSR-aware in isolation and composing the mappings. *)
+
+val osr_trans_pipeline :
+  ?variant:Reconstruct.variant -> Rewrite.Rule.t list -> Minilang.Ast.program -> result
+(** A whole pipeline, each rule to fixpoint, all mappings composed. *)

@@ -1,0 +1,206 @@
+(** Algorithm 1: value reconstruction for live-variable-equivalent (LVE)
+    program versions.
+
+    [reconstruct x p l p' l' l'at] builds compensation code assigning [x]
+    the value it would have had at [l'at] just before reaching [l'], had
+    execution been carried on in [p'] instead of [p] (Figure 4(b)).
+
+    Two variants, as in Section 5.2:
+    - [Live]: compensation code may read only variables live at the OSR
+      source point [l] in [p];
+    - [Avail]: may additionally read variables that are not live at [l] but
+      whose stored value provably equals the value the target version needs
+      — the "keep set" [K_avail] that an implementation would artificially
+      keep alive (Table 3 reports its size).
+
+    One divergence from the paper's pseudo-code: the paper implements
+    Algorithm 1 over SSA, where every value has a unique name.  Our store
+    has one slot per source variable, so two {e different} definitions of
+    the same variable must not both flow into one compensation sequence.
+    We track, per variable, the definition point that justifies each read
+    or write, and give up (throw [undef]) on a clash. *)
+
+type variant = Live | Avail
+
+type ctx = {
+  p : Minilang.Ast.program;  (** OSR source program *)
+  p' : Minilang.Ast.program;  (** OSR target program *)
+  live_p : Langcfg.Live_vars.t;
+  live_p' : Langcfg.Live_vars.t;
+  rd_p : Langcfg.Reaching_defs.t;
+  rd_p' : Langcfg.Reaching_defs.t;
+  def_p : Langcfg.Definedness.t;
+  def_p' : Langcfg.Definedness.t;
+}
+
+let make_ctx (p : Minilang.Ast.program) (p' : Minilang.Ast.program) : ctx =
+  let g = Langcfg.Cfg.build p and g' = Langcfg.Cfg.build p' in
+  {
+    p;
+    p';
+    live_p = Langcfg.Live_vars.analyze g;
+    live_p' = Langcfg.Live_vars.analyze g';
+    rd_p = Langcfg.Reaching_defs.analyze g;
+    rd_p' = Langcfg.Reaching_defs.analyze g';
+    def_p = Langcfg.Definedness.analyze g;
+    def_p' = Langcfg.Definedness.analyze g';
+  }
+
+(* The paper's ud(x, p̄, ld, lr) footnote predicate, computed via dataflow:
+   [Some ld] iff the definition of x at ld is the only one reaching lr AND x
+   is definitely defined at lr (the CTL formula ←AX←A(¬def U point ∧ def)
+   forces the definition to appear on every backward path). *)
+let ud_p (ctx : ctx) (x : Minilang.Ast.var) (lr : int) : int option =
+  if Langcfg.Definedness.is_defined_at ctx.def_p lr x then
+    Langcfg.Reaching_defs.unique_def ctx.rd_p ~x ~lr
+  else None
+
+let ud_p' (ctx : ctx) (x : Minilang.Ast.var) (lr : int) : int option =
+  if Langcfg.Definedness.is_defined_at ctx.def_p' lr x then
+    Langcfg.Reaching_defs.unique_def ctx.rd_p' ~x ~lr
+  else None
+
+exception Undef of Minilang.Ast.var
+(** Raised when a value cannot be reconstructed — the algorithm's
+    [throw undef]. *)
+
+type state = {
+  visited : (int, unit) Hashtbl.t;  (** marked definition points (line 2/3) *)
+  versions : (Minilang.Ast.var, int) Hashtbl.t;
+      (** which definition point justifies each variable's occurrences in
+          the compensation code; a clash means two versions of one name *)
+  mutable keep : Minilang.Ast.var list;  (** K_avail accumulator *)
+}
+
+let fresh_state () = { visited = Hashtbl.create 16; versions = Hashtbl.create 16; keep = [] }
+
+(* Record that variable [x] stands for its definition at [d] throughout the
+   compensation code; reject a second, different version. *)
+let note_version (st : state) (x : Minilang.Ast.var) (d : int) : unit =
+  match Hashtbl.find_opt st.versions x with
+  | None -> Hashtbl.add st.versions x d
+  | Some d' -> if d <> d' then raise (Undef x)
+
+let note_keep (ctx : ctx) (st : state) ~(l : int) (x : Minilang.Ast.var) : unit =
+  if not (Langcfg.Live_vars.is_live ctx.live_p l x) then
+    if not (List.mem x st.keep) then st.keep <- x :: st.keep
+
+(* Under the Avail variant, may σ(x) at the source point l be used directly
+   for the value x would carry at l'at in p'?  Sound sufficient condition
+   for single-application in-place LVE versions: x has a unique reaching
+   definition at the same point in both programs and the defining
+   instructions are syntactically identical (the transformation did not
+   touch it), so the source actually computed exactly the value the target
+   expects.  The instruction's operands are live at the defining point in
+   both versions (they are used there), hence equal by live-variable
+   bisimilarity, hence the computed values are equal.  Returns the shared
+   definition point.
+
+   Syntactic equality is essential: requiring only a same-point definition
+   is unsound once the transformation rewrote the right-hand side (and
+   definitions at *different* points are unsound even when equal — two
+   occurrences of the same text may execute under different stores). *)
+let avail_usable (ctx : ctx) ~(l : int) ~(l'at : int) (x : Minilang.Ast.var) : int option =
+  match (ud_p ctx x l, ud_p' ctx x l'at) with
+  | Some ld, Some ld' when ld = ld' -> (
+      match (Minilang.Ast.instr_at ctx.p ld, Minilang.Ast.instr_at ctx.p' ld') with
+      | (Assign (y, _) as i), (Assign (y', _) as i')
+        when String.equal y x && String.equal y' x && Minilang.Ast.equal_instr i i' ->
+          Some ld
+      | In xs, In xs' when List.mem x xs && List.mem x xs' -> Some ld
+      | _, _ -> None)
+  | _, _ -> None
+
+(** Algorithm 1, lines 1–9.  [st] is shared across the per-variable calls
+    issued for one OSR point pair so that marked definition points are
+    emitted only once ("we mark program points to avoid work repetition"). *)
+let rec reconstruct (variant : variant) (ctx : ctx) (st : state) (x : Minilang.Ast.var)
+    ~(l : int) ~(l' : int) ~(l'at : int) : Comp_code.t =
+  let x_live_both =
+    Langcfg.Live_vars.is_live ctx.live_p' l' x && Langcfg.Live_vars.is_live ctx.live_p l x
+  in
+  let use_avail () =
+    match if variant = Avail then avail_usable ctx ~l ~l'at x else None with
+    | Some ld ->
+        note_version st x ld;
+        note_keep ctx st ~l x;
+        Some Comp_code.empty
+    | None -> None
+  in
+  match ud_p' ctx x l'at with
+  | None -> (
+      (* No unique reaching definition in p' (line 9 throws) — unless the
+         stored value itself is directly usable.  At the landing point
+         itself, liveness at both endpoints suffices by the LVB hypothesis
+         even with multiple reaching definitions (the paper's prose argument
+         for line 4, which its pseudo-code reaches only under a unique
+         definition). *)
+      if l'at = l' && x_live_both then begin
+        note_version st x (-l');
+        Comp_code.empty
+      end
+      else
+        match use_avail () with Some c -> c | None -> raise (Undef x))
+  | Some l'def ->
+      if Hashtbl.mem st.visited l'def then Comp_code.empty (* line 2 *)
+      else if
+        (* Line 4: the definition reaching l'at also uniquely reaches l',
+           and x is live at origin and destination: σ(x) is already right. *)
+        ud_p' ctx x l' = Some l'def && x_live_both
+      then begin
+        Hashtbl.add st.visited l'def ();
+        note_version st x l'def;
+        Comp_code.empty
+      end
+      else begin
+        match use_avail () with
+        | Some c ->
+            Hashtbl.add st.visited l'def ();
+            c
+        | None -> (
+            Hashtbl.add st.visited l'def ();  (* line 3 *)
+            match Minilang.Ast.instr_at ctx.p' l'def with
+            | Assign (y, e) when String.equal y x ->
+                (* Lines 5–8: reconstruct each constituent of e as of l'def,
+                   then re-execute the assignment. *)
+                let c =
+                  List.fold_left
+                    (fun c yv ->
+                      Comp_code.compose c
+                        (reconstruct variant ctx st yv ~l ~l' ~l'at:l'def))
+                    Comp_code.empty (Minilang.Ast.expr_vars e)
+                in
+                note_version st x l'def;
+                Comp_code.compose c [ (x, e) ]
+            | In _ ->
+                (* x is an untouched input of p'.  Its value is σ̂(x); usable
+                   directly when the input also flows unclobbered to l in p. *)
+                if ud_p ctx x l = Some 1 then begin
+                  note_version st x 1;
+                  Comp_code.empty
+                end
+                else raise (Undef x)
+            | Assign _ | If _ | Goto _ | Skip | Abort | Out _ -> raise (Undef x))
+      end
+
+type result = {
+  comp : Comp_code.t;
+  keep : Minilang.Ast.var list;
+      (** variables not live at the source whose values the [Avail] variant
+          reads — [K_avail] of Table 3 (always empty for [Live]) *)
+}
+
+(** Build the compensation code for one OSR point pair [(l, l')]: reconstruct
+    every variable live at the landing point (the key observation of the
+    paper — only live variables need fixing, per Theorem 3.2). *)
+let for_point_pair ?(variant = Live) (ctx : ctx) ~(l : int) ~(l' : int) :
+    (result, Minilang.Ast.var) Result.t =
+  let st = fresh_state () in
+  let targets = Langcfg.Live_vars.live_at ctx.live_p' l' in
+  match
+    List.fold_left
+      (fun c x -> Comp_code.compose c (reconstruct variant ctx st x ~l ~l' ~l'at:l'))
+      Comp_code.empty targets
+  with
+  | c -> Ok { comp = c; keep = List.rev st.keep }
+  | exception Undef x -> Error x

@@ -1,0 +1,36 @@
+(** Algorithm 1: value reconstruction for live-variable-equivalent (LVE)
+    program versions, in the paper's [live] and [avail] variants
+    (Section 5.2).  See the implementation for the full algorithm
+    commentary, including the variable-version consistency discipline our
+    non-SSA store imposes on top of the paper's pseudo-code. *)
+
+type variant =
+  | Live  (** compensation may read only variables live at the OSR origin *)
+  | Avail
+      (** may also read non-live variables whose stored value provably
+          equals what the target needs — the keep set [K_avail] of Table 3 *)
+
+type ctx
+(** Precomputed analyses (liveness, reaching definitions, definedness) for
+    one ordered pair of program versions. *)
+
+val make_ctx : Minilang.Ast.program -> Minilang.Ast.program -> ctx
+(** [make_ctx src dst]: [src] is where execution currently is, [dst] where
+    it lands. *)
+
+exception Undef of Minilang.Ast.var
+(** The algorithm's [throw undef]: this variable defeats reconstruction. *)
+
+type result = {
+  comp : Comp_code.t;
+  keep : Minilang.Ast.var list;
+      (** variables not live at the source whose values the [Avail] variant
+          reads (always empty for [Live]) *)
+}
+
+val for_point_pair :
+  ?variant:variant -> ctx -> l:int -> l':int -> (result, Minilang.Ast.var) Result.t
+(** Build the compensation code for an OSR from point [l] of the source to
+    point [l'] of the target: reconstruct every variable live at the
+    landing point (only live variables need fixing — Theorem 3.2).
+    [Error x] when variable [x] cannot be reconstructed. *)

@@ -1,0 +1,1 @@
+lib/osrir/contfun.ml: Dom Hashtbl Import Ir List Liveness Passes Printf Reconstruct_ir String

@@ -1,0 +1,1 @@
+lib/osrir/contfun.mli: Import Ir Reconstruct_ir

@@ -1,0 +1,1 @@
+lib/osrir/feasibility.ml: Import List Option Osr_ctx Reconstruct_ir

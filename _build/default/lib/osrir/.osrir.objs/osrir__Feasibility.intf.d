@@ -1,0 +1,1 @@
+lib/osrir/feasibility.mli: Osr_ctx Reconstruct_ir

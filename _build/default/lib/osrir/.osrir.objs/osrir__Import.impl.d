@@ -1,0 +1,1 @@
+lib/osrir/import.ml: Miniir Passes Tinyvm

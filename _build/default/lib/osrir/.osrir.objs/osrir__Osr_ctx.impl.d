@@ -1,0 +1,1 @@
+lib/osrir/osr_ctx.ml: Code_mapper Dom Hashtbl Import Ir List Liveness Loops String

@@ -1,0 +1,1 @@
+lib/osrir/osr_runtime.ml: Contfun Hashtbl Import Interp Ir List Option Printf Reconstruct_ir

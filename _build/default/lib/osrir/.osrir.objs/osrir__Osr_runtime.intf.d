@@ -1,0 +1,1 @@
+lib/osrir/osr_runtime.mli: Contfun Import Interp Ir Reconstruct_ir

@@ -1,0 +1,1 @@
+lib/osrir/reconstruct_ir.ml: Dom Hashtbl Import Interp Ir List Liveness Option Osr_ctx Passes String

@@ -1,0 +1,1 @@
+lib/osrir/reconstruct_ir.mli: Hashtbl Import Interp Ir Osr_ctx

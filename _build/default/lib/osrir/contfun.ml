@@ -1,0 +1,326 @@
+open Import
+
+(** Continuation-function generation (Section 5.4): the OSR transition is
+    modeled as a call that transfers the live state to [f'to], a
+    specialization of the target version with the landing point as its
+    unique entry.  [f'to]'s entry block executes the compensation code,
+    then control flows to the landing instruction.
+
+    Construction (all on a clone of the target):
+    {ol
+    {- split the landing block [B] into [B] (φ-nodes and the body prefix)
+       and [B$tail] (the landing instruction onward, plus the original
+       terminator); successor φ-incomings from [B] are renamed to [B$tail];}
+    {- demote every register that must cross the entry seam — destination
+       registers live at the landing plus compensation results — to a
+       one-cell alloca: defs are followed by a store, uses become loads;}
+    {- build a fresh entry: allocas, parameter spills ([osr$]-prefixed
+       parameters carry the transferred source values), compensation
+       instructions, stores of their results, then [br B$tail];}
+    {- remove blocks unreachable from the new entry ("deleting unreachable
+       blocks yields more compact code"), and re-promote the slots with
+       mem2reg, which rebuilds clean SSA with proper φ-nodes.}}
+
+    The result verifies under the standard SSA rules. *)
+
+type t = {
+  fto : Ir.func;
+  param_sources : Ir.value list;
+      (** for each parameter of [fto], the {e source-side} value the caller
+          must pass (register of the source frame, or constant) *)
+}
+
+let param_prefix = "osr$"
+
+(* Remove blocks unreachable from the entry. *)
+let drop_unreachable (f : Ir.func) : unit =
+  let seen = Hashtbl.create 16 in
+  let rec dfs label =
+    if not (Hashtbl.mem seen label) then begin
+      Hashtbl.add seen label ();
+      match Ir.find_block f label with
+      | Some b -> List.iter dfs (Ir.successors b)
+      | None -> ()
+    end
+  in
+  dfs (Ir.entry f).label;
+  let removed =
+    List.filter_map
+      (fun (b : Ir.block) -> if Hashtbl.mem seen b.label then None else Some b.label)
+      f.blocks
+  in
+  if removed <> [] then begin
+    f.blocks <- List.filter (fun (b : Ir.block) -> Hashtbl.mem seen b.label) f.blocks;
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i.rhs with
+            | Ir.Phi incoming ->
+                i.rhs <- Ir.Phi (List.filter (fun (l, _) -> not (List.mem l removed)) incoming)
+            | _ -> ())
+          b.phis)
+      f.blocks
+  end
+
+(** Generate [f'to] for a transition into [target] at instruction
+    [landing], running [plan] on entry.  [promote] controls the final
+    mem2reg re-promotion (on by default; off is useful to inspect the raw
+    demoted form). *)
+let generate ?(promote = true) (target : Ir.func) ~(landing : int)
+    (plan : Reconstruct_ir.plan) : t =
+  let f = Ir.clone_func target in
+  let positions = Dom.instr_positions f in
+  let landing_block, _ =
+    match Hashtbl.find_opt positions landing with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Contfun.generate: no instruction #%d" landing)
+  in
+  (* --- 1. Split the landing block. --------------------------------- *)
+  let lb = Ir.block_exn f landing_block in
+  let tail_label = landing_block ^ "$tail" in
+  let rec split acc = function
+    | [] -> (List.rev acc, [])  (* landing at the terminator *)
+    | (i : Ir.instr) :: rest ->
+        if i.id = landing then (List.rev acc, i :: rest) else split (i :: acc) rest
+  in
+  let prefix, tail_body = split [] lb.body in
+  let tail =
+    {
+      Ir.label = tail_label;
+      phis = [];
+      body = tail_body;
+      term = lb.term;
+      term_id = lb.term_id;
+    }
+  in
+  let head_term_id = Ir.fresh_id f in
+  let head =
+    { Ir.label = lb.label; phis = lb.phis; body = prefix; term = Ir.Br tail_label;
+      term_id = head_term_id }
+  in
+  f.blocks <-
+    List.concat_map
+      (fun (b : Ir.block) ->
+        if String.equal b.label landing_block then [ head; tail ] else [ b ])
+      f.blocks;
+  (* Successor φ-incomings that named the landing block now come from the
+     tail (which carries the original terminator). *)
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.rhs with
+          | Ir.Phi incoming ->
+              i.rhs <-
+                Ir.Phi
+                  (List.map
+                     (fun (l, v) ->
+                       if String.equal l landing_block then (tail_label, v) else (l, v))
+                     incoming)
+          | _ -> ())
+        b.phis)
+    f.blocks;
+  (* --- 2. Demotion set. --------------------------------------------- *)
+  let def_tbl = Ir.def_table f in
+  let is_instr_defined r = Hashtbl.mem def_tbl r in
+  let demoted =
+    List.sort_uniq String.compare
+      (List.filter is_instr_defined
+         (List.map fst plan.transfers @ List.map (fun (c : Reconstruct_ir.comp_instr) -> c.target) plan.comp)
+      @ List.filter is_instr_defined (Liveness.live_at (Liveness.compute target) landing))
+  in
+  let slot_of r = r ^ "$slot" in
+  (* Rewrite uses to loads, defs get a trailing store. *)
+  List.iter
+    (fun (b : Ir.block) ->
+      let rewrite_instr (i : Ir.instr) : Ir.instr list =
+        (* Loads for demoted operands (φ-nodes excepted: their reads happen
+           at the edge and the incoming value is rewritten below). *)
+        let loads = ref [] in
+        let fix v =
+          match v with
+          | Ir.Reg r when List.mem r demoted ->
+              let tmp = Ir.fresh_reg ~hint:(r ^ ".r") f in
+              loads :=
+                { Ir.id = Ir.fresh_id f; result = Some tmp; rhs = Ir.Load (Ir.Reg (slot_of r)) }
+                :: !loads;
+              Ir.Reg tmp
+          | _ -> v
+        in
+        (match i.rhs with
+        | Ir.Phi _ -> ()
+        | rhs -> i.rhs <- Ir.map_rhs_operands fix rhs);
+        let stores =
+          match i.result with
+          | Some r when List.mem r demoted ->
+              [ { Ir.id = Ir.fresh_id f; result = None;
+                  rhs = Ir.Store (Ir.Reg r, Ir.Reg (slot_of r)) } ]
+          | _ -> []
+        in
+        List.rev !loads @ [ i ] @ stores
+      in
+      (* φ-node incomings and results. *)
+      let phi_stores = ref [] in
+      List.iter
+        (fun (i : Ir.instr) ->
+          (match i.rhs with
+          | Ir.Phi incoming ->
+              i.rhs <-
+                Ir.Phi
+                  (List.map
+                     (fun (l, v) ->
+                       match v with
+                       | Ir.Reg r when List.mem r demoted ->
+                           (* The value is re-read at the edge via the pred's
+                              terminator — demoted reads must happen in the
+                              predecessor.  Simplest sound fix: read the slot
+                              here is illegal (φ has no body), so instead we
+                              keep the φ reading the original register when
+                              its definition still dominates the edge;
+                              otherwise the slot load goes into the pred. *)
+                           (l, Ir.Reg r)
+                       | _ -> (l, v))
+                     incoming)
+          | _ -> ());
+          match i.result with
+          | Some r when List.mem r demoted ->
+              phi_stores :=
+                { Ir.id = Ir.fresh_id f; result = None;
+                  rhs = Ir.Store (Ir.Reg r, Ir.Reg (slot_of r)) }
+                :: !phi_stores
+          | _ -> ())
+        b.phis;
+      b.body <- List.rev !phi_stores @ List.concat_map rewrite_instr b.body;
+      (* Terminator operands reading demoted registers re-load the slot at
+         the end of the block. *)
+      let term_loads = ref [] in
+      b.term <-
+        Ir.map_term_operands
+          (fun v ->
+            match v with
+            | Ir.Reg r when List.mem r demoted ->
+                let tmp = Ir.fresh_reg ~hint:(r ^ ".t") f in
+                term_loads :=
+                  { Ir.id = Ir.fresh_id f; result = Some tmp;
+                    rhs = Ir.Load (Ir.Reg (slot_of r)) }
+                  :: !term_loads;
+                Ir.Reg tmp
+            | _ -> v)
+          b.term;
+      b.body <- b.body @ List.rev !term_loads)
+    f.blocks;
+  (* φ incomings reading demoted registers: re-read the slot at the end of
+     the predecessor unconditionally (the new entry edge breaks dominance
+     for the original definitions; the slot always carries the live value,
+     and mem2reg re-promotion removes the loads that were unnecessary). *)
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.rhs with
+          | Ir.Phi incoming ->
+              i.rhs <-
+                Ir.Phi
+                  (List.map
+                     (fun (l, v) ->
+                       match v with
+                       | Ir.Reg r when List.mem r demoted -> (
+                           match Ir.find_block f l with
+                           | Some pb ->
+                               let tmp = Ir.fresh_reg ~hint:(r ^ ".e") f in
+                               pb.body <-
+                                 pb.body
+                                 @ [ { Ir.id = Ir.fresh_id f; result = Some tmp;
+                                       rhs = Ir.Load (Ir.Reg (slot_of r)) } ];
+                               (l, Ir.Reg tmp)
+                           | None -> (l, v))
+                       | _ -> (l, v))
+                     incoming)
+          | _ -> ())
+        b.phis)
+    f.blocks;
+  (* --- 3. Fresh entry: params, allocas, spills, compensation. ------- *)
+  let params_needed =
+    (* Every distinct source value the transfers read, in first-use order. *)
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (_, v) ->
+        match v with
+        | Ir.Reg y when not (Hashtbl.mem seen y) ->
+            Hashtbl.add seen y ();
+            Some y
+        | _ -> None)
+      plan.transfers
+  in
+  let param_name y = param_prefix ^ y in
+  let entry_label = "osr.entry" in
+  let entry_body = ref [] in
+  let emit rhs result =
+    entry_body := { Ir.id = Ir.fresh_id f; result; rhs } :: !entry_body
+  in
+  (* Allocas for the demoted slots. *)
+  List.iter (fun r -> emit (Ir.Alloca 1) (Some (slot_of r))) demoted;
+  (* Spill transferred values. *)
+  List.iter
+    (fun (x', v) ->
+      let incoming =
+        match v with Ir.Reg y -> Ir.Reg (param_name y) | (Ir.Const _ | Ir.Undef) as c -> c
+      in
+      if List.mem x' demoted then emit (Ir.Store (incoming, Ir.Reg (slot_of x'))) None
+      else
+        (* x' is a function parameter of the target; pass it through as a
+           parameter of f'to directly (no demotion needed). *)
+        ())
+    plan.transfers;
+  (* Compensation instructions: operands referring to demoted registers go
+     through their slots. *)
+  List.iter
+    (fun (c : Reconstruct_ir.comp_instr) ->
+      let fix v =
+        match v with
+        | Ir.Reg r when List.mem r demoted ->
+            let tmp = Ir.fresh_reg ~hint:(r ^ ".c") f in
+            emit (Ir.Load (Ir.Reg (slot_of r))) (Some tmp);
+            Ir.Reg tmp
+        | Ir.Reg r when List.mem r f.params ->
+            (* Target parameters reach the compensation code through the
+               osr$-prefixed transfer parameter (the parameter itself is
+               only a parameter of f'to when live at the landing). *)
+            if List.mem r params_needed then Ir.Reg (param_name r) else Ir.Reg r
+        | v -> v
+      in
+      let rhs' = Ir.map_rhs_operands fix c.rhs in
+      let tmp = Ir.fresh_reg ~hint:(c.target ^ ".v") f in
+      emit rhs' (Some tmp);
+      if List.mem c.target demoted then emit (Ir.Store (Ir.Reg tmp, Ir.Reg (slot_of c.target))) None)
+    plan.comp;
+  let entry =
+    {
+      Ir.label = entry_label;
+      phis = [];
+      body = List.rev !entry_body;
+      term = Ir.Br tail_label;
+      term_id = Ir.fresh_id f;
+    }
+  in
+  (* Function-parameter live values: any target parameter live at landing
+     must be supplied by the caller as well; they keep their names. *)
+  let target_live = Liveness.live_at (Liveness.compute target) landing in
+  let live_params = List.filter (fun p -> List.mem p target_live) target.params in
+  let transfer_params = List.map param_name params_needed in
+  let fto =
+    {
+      Ir.fname = target.fname ^ "$to" ^ string_of_int landing;
+      params = live_params @ transfer_params;
+      blocks = entry :: f.blocks;
+      next_id = f.next_id;
+      next_reg = f.next_reg;
+    }
+  in
+  drop_unreachable fto;
+  if promote then ignore (Passes.Mem2reg.run fto : bool);
+  let param_sources =
+    List.map (fun p -> Ir.Reg p) live_params @ List.map (fun y -> Ir.Reg y) params_needed
+  in
+  { fto; param_sources }

@@ -1,0 +1,27 @@
+open Import
+
+(** Continuation-function generation (Section 5.4): the OSR transition is
+    modeled as a call transferring the live state to [f'to], a
+    specialization of the target version whose entry block executes the
+    compensation code before control flows to the landing instruction.
+    Construction: split the landing block, demote the crossing registers to
+    one-cell allocas, synthesize the entry, drop unreachable blocks, and
+    re-promote with mem2reg — the result verifies under standard SSA
+    rules. *)
+
+type t = {
+  fto : Ir.func;
+  param_sources : Ir.value list;
+      (** for each parameter of [fto], the source-side value the caller
+          must pass (a register of the source frame, or a constant) *)
+}
+
+val param_prefix : string
+(** Prefix of the transfer parameters ([osr$]). *)
+
+val generate : ?promote:bool -> Ir.func -> landing:int -> Reconstruct_ir.plan -> t
+(** Generate [f'to] for a transition into the function at instruction
+    [landing], running [plan] on entry.  [promote:false] returns the raw
+    demoted form (for inspection).
+    @raise Invalid_argument if [landing] is not an instruction of the
+    function *)

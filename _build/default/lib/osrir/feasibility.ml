@@ -1,0 +1,132 @@
+open! Import
+
+(** Per-point OSR feasibility analysis — the machinery behind Figures 7
+    and 8 and Table 3: classify every source program point as
+
+    - [Empty]: transition needs no compensation code at all (c = ⟨⟩ under
+      the [live] variant, empty keep set);
+    - [With_live]: the [live] variant builds a compensation plan;
+    - [With_avail]: only the [avail] variant succeeds (values must be kept
+      artificially alive);
+    - [Infeasible]: even [avail] gives up (or the point has no landing
+      correspondence in the destination version). *)
+
+type classification =
+  | Empty
+  | With_live of Reconstruct_ir.plan
+  | With_avail of Reconstruct_ir.plan
+  | Infeasible
+
+type point_report = {
+  point : int;
+  landing : int option;
+  classification : classification;
+  live_plan : Reconstruct_ir.plan option;  (** the live-variant plan, if any *)
+  avail_plan : Reconstruct_ir.plan option;
+}
+
+type summary = {
+  total_points : int;
+  empty : int;
+  live_ok : int;  (** feasible with the live variant (includes empty) *)
+  avail_ok : int;  (** feasible with the avail variant (includes live_ok) *)
+  reports : point_report list;
+}
+
+let analyze ?(config = Reconstruct_ir.default_config) (t : Osr_ctx.t) : summary =
+  let points = Osr_ctx.source_points t in
+  let reports =
+    List.map
+      (fun p ->
+        match Osr_ctx.landing_point t p with
+        | None ->
+            { point = p; landing = None; classification = Infeasible; live_plan = None;
+              avail_plan = None }
+        | Some landing -> (
+            let live = Reconstruct_ir.for_point_pair ~variant:Live ~config t ~src_point:p ~landing in
+            let avail = Reconstruct_ir.for_point_pair ~variant:Avail ~config t ~src_point:p ~landing in
+            match (live, avail) with
+            | Ok lp, _ when Reconstruct_ir.plan_is_empty lp && lp.keep = [] ->
+                {
+                  point = p;
+                  landing = Some landing;
+                  classification = Empty;
+                  live_plan = Some lp;
+                  avail_plan = (match avail with Ok ap -> Some ap | Error _ -> None);
+                }
+            | Ok lp, _ ->
+                {
+                  point = p;
+                  landing = Some landing;
+                  classification = With_live lp;
+                  live_plan = Some lp;
+                  avail_plan = (match avail with Ok ap -> Some ap | Error _ -> None);
+                }
+            | Error _, Ok ap ->
+                {
+                  point = p;
+                  landing = Some landing;
+                  classification = With_avail ap;
+                  live_plan = None;
+                  avail_plan = Some ap;
+                }
+            | Error _, Error _ ->
+                { point = p; landing = Some landing; classification = Infeasible;
+                  live_plan = None; avail_plan = None }))
+      points
+  in
+  let count pred = List.length (List.filter pred reports) in
+  {
+    total_points = List.length points;
+    empty = count (fun r -> r.classification = Empty);
+    live_ok =
+      count (fun r ->
+          match r.classification with Empty | With_live _ -> true | _ -> false);
+    avail_ok =
+      count (fun r ->
+          match r.classification with
+          | Empty | With_live _ | With_avail _ -> true
+          | Infeasible -> false);
+    reports;
+  }
+
+(** Percentages for the Figure 7/8 stacked bars. *)
+let percentages (s : summary) : float * float * float =
+  let pct n = 100.0 *. float_of_int n /. float_of_int (max 1 s.total_points) in
+  (pct s.empty, pct s.live_ok, pct s.avail_ok)
+
+(** Compensation-code size statistics over the feasible points — the |c|
+    columns of Table 3.  [`Live] averages over live-feasible points,
+    [`Avail] over all avail-feasible points (the paper's note: "averages
+    are calculated on different sets of program points"). *)
+let comp_stats (s : summary) (which : [ `Live | `Avail ]) : float * int =
+  let sizes =
+    List.filter_map
+      (fun r ->
+        match which with
+        | `Live -> Option.map Reconstruct_ir.comp_size r.live_plan
+        | `Avail -> Option.map Reconstruct_ir.comp_size r.avail_plan)
+      s.reports
+  in
+  match sizes with
+  | [] -> (0.0, 0)
+  | _ ->
+      let sum = List.fold_left ( + ) 0 sizes in
+      (float_of_int sum /. float_of_int (List.length sizes), List.fold_left max 0 sizes)
+
+(** Keep-set size statistics (|K_avail| of Table 3) over the points that
+    actually keep something alive. *)
+let keep_stats (s : summary) : float * int =
+  let sizes =
+    List.filter_map
+      (fun r ->
+        match r.avail_plan with
+        | Some p when p.keep <> [] -> Some (List.length p.keep)
+        | Some _ | None -> None)
+      s.reports
+  in
+  match sizes with
+  | [] -> (0.0, 0)
+  | _ ->
+      let sum = List.fold_left ( + ) 0 sizes in
+      (float_of_int sum /. float_of_int (List.length sizes), List.fold_left max 0 sizes)

@@ -1,0 +1,169 @@
+open Import
+
+(** Shared context for IR-level OSR mapping construction between a base
+    function and its optimized clone: direction handling, point
+    correspondence (the Δ of Section 4.2), and value correspondence derived
+    from the CodeMapper's action history (Section 5.1). *)
+
+type direction = Base_to_opt | Opt_to_base
+
+type side = {
+  func : Ir.func;
+  dom : Dom.t;
+  positions : (int, string * int) Hashtbl.t;
+  live : Liveness.t;
+  defs : (Ir.reg, Ir.def_site) Hashtbl.t;
+  owner : (int, string) Hashtbl.t;  (** instruction id → block label *)
+  loops : Loops.t;
+}
+
+let make_side (f : Ir.func) : side =
+  let dom = Dom.compute f in
+  {
+    func = f;
+    dom;
+    positions = Dom.instr_positions f;
+    live = Liveness.compute f;
+    defs = Ir.def_table f;
+    owner = Ir.block_of_instr f;
+    loops = Loops.compute f;
+  }
+
+type t = {
+  fbase : Ir.func;
+  fopt : Ir.func;
+  mapper : Code_mapper.t;
+  direction : direction;
+  src : side;  (** where execution currently is *)
+  dst : side;  (** where execution lands *)
+}
+
+let make ~(fbase : Ir.func) ~(fopt : Ir.func) ~(mapper : Code_mapper.t)
+    (direction : direction) : t =
+  let base_side = make_side fbase and opt_side = make_side fopt in
+  match direction with
+  | Base_to_opt -> { fbase; fopt; mapper; direction; src = base_side; dst = opt_side }
+  | Opt_to_base -> { fbase; fopt; mapper; direction; src = opt_side; dst = base_side }
+
+(** Has instruction [id] been moved between blocks by the optimizer? *)
+let is_moved (t : t) (id : int) : bool = Hashtbl.mem t.mapper.moved id
+
+(* ------------------------------------------------------------------ *)
+(* Point correspondence (Δ)                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A point id is a valid correspondence anchor when it exists on both sides
+   and was not moved between blocks: both versions being "about to execute
+   #id" are then the same control state (stores are never moved, so memory
+   also agrees — the store invariant of Section 5.3). *)
+let anchor (t : t) (id : int) : bool =
+  Hashtbl.mem t.src.positions id && Hashtbl.mem t.dst.positions id && not (is_moved t id)
+
+(** The OSR point universe on the source side: every body instruction and
+    terminator (φ-nodes are not program locations, mirroring the paper's
+    "IR conditionals and assignment instructions determine locations"). *)
+let source_points (t : t) : int list =
+  List.concat_map
+    (fun (b : Ir.block) ->
+      List.map (fun (i : Ir.instr) -> i.id) b.body @ [ b.term_id ])
+    t.src.func.blocks
+
+(** Landing point in the destination for source point [p]: the first anchor
+    at or after [p] in [p]'s source block (skipping instructions the
+    optimizer deleted or moved away), or [None] when the whole remainder of
+    the block has no anchor (e.g. the block does not exist on the other
+    side). *)
+let landing_point (t : t) (p : int) : int option =
+  match Hashtbl.find_opt t.src.owner p with
+  | None -> None
+  | Some label -> (
+      match Ir.find_block t.src.func label with
+      | None -> None
+      | Some b ->
+          let rec from_body = function
+            | [] -> if anchor t b.term_id then Some b.term_id else None
+            | (i : Ir.instr) :: rest -> if anchor t i.id then Some i.id else from_body rest
+          in
+          let rec skip_to = function
+            | [] -> Some []  (* p is the terminator *)
+            | (i : Ir.instr) :: rest -> if i.id = p then Some (i :: rest) else skip_to rest
+          in
+          if p = b.term_id then if anchor t p then Some p else None
+          else (
+            match skip_to b.body with
+            | Some tail -> from_body tail
+            | None -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Value correspondence                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Source-side values holding the same run-time value as destination
+    register [x'], derived from name stability and the replace-action
+    equivalences (Section 5.4's "implicit aliasing information").  Most
+    specific candidates first. *)
+let source_candidates ?(use_aliases = true) (t : t) (x' : Ir.reg) : Ir.value list =
+  let name_based =
+    if Hashtbl.mem t.src.defs x' || List.mem x' t.src.func.params then [ Ir.Reg x' ] else []
+  in
+  let from_replacements =
+    if not use_aliases then []
+    else
+    match t.direction with
+    | Base_to_opt ->
+        (* Base registers whose replacement chain resolves to x' hold the
+           same value (CSE kept x', deleted them). *)
+        List.filter_map
+          (fun alias ->
+            if String.equal alias x' then None
+            else if Hashtbl.mem t.src.defs alias || List.mem alias t.src.func.params then
+              Some (Ir.Reg alias)
+            else None)
+          (Code_mapper.base_aliases_of t.mapper x')
+    | Opt_to_base -> (
+        (* x' is a base register; its replacement tells us what holds the
+           value in the optimized code. *)
+        match Code_mapper.resolve_replacement t.mapper x' with
+        | Some (Ir.Const c) -> [ Ir.Const c ]
+        | Some (Ir.Reg r') when Hashtbl.mem t.src.defs r' || List.mem r' t.src.func.params ->
+            [ Ir.Reg r' ]
+        | Some _ | None -> [])
+  in
+  name_based @ from_replacements
+
+(** Is [v] available in the source frame at source point [src_point]?
+    Constants always; registers when they are parameters or their
+    definition dominates the point (SSA definedness). *)
+let available_in_src (t : t) ~(src_point : int) (v : Ir.value) : bool =
+  match v with
+  | Ir.Const _ -> true
+  | Ir.Undef -> false
+  | Ir.Reg y ->
+      List.mem y t.src.func.params
+      || (match Hashtbl.find_opt t.src.defs y with
+         | Some (d : Ir.def_site) ->
+             Dom.instr_dominates t.src.dom t.src.positions ~def_id:d.di.id ~use_id:src_point
+         | None -> false)
+
+(** May the destination definition at instruction [def_id] be re-executed
+    when the machine state corresponds to [landing]?  Re-execution reads the
+    {e current} values of the definition's operands, which equal the values
+    of its own last execution only when no loop iteration boundary separates
+    the two: every natural loop containing the definition must also contain
+    the landing point (same-iteration consistency).  A loop-defined value
+    needed after its loop cannot be recomputed — only the frame still holds
+    its final value, which is precisely what the [avail] variant exploits. *)
+let reexec_consistent (t : t) ~(def_id : int) ~(landing : int) : bool =
+  match (Hashtbl.find_opt t.dst.owner def_id, Hashtbl.find_opt t.dst.owner landing) with
+  | Some def_block, Some landing_block ->
+      List.for_all
+        (fun (l : Loops.loop) ->
+          (not (Loops.in_loop l def_block)) || Loops.in_loop l landing_block)
+        t.dst.loops.loops
+  | _, _ -> false
+
+let live_in_src (t : t) ~(src_point : int) (v : Ir.value) : bool =
+  match v with
+  | Ir.Const _ -> true
+  | Ir.Undef -> false
+  | Ir.Reg y -> Liveness.is_live t.src.live src_point y

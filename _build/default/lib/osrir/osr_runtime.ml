@@ -1,0 +1,108 @@
+open Import
+
+(** The OSR runtime: arms OSR points on a running TinyVM machine and fires
+    transitions through generated continuation functions, OSRKit-style
+    (Section 5.4).  A transition:
+
+    {ol
+    {- stops the source machine when it is about to execute an armed point
+       and the guard holds;}
+    {- evaluates the continuation's parameter sources against the live
+       source frame;}
+    {- runs [f'to] on the {e same} memory, landing at the target point
+       after the entry-block compensation code.}}
+
+    The result of [f'to] is the result of the original activation. *)
+
+type site = {
+  at : int;  (** source instruction id where the transition may fire *)
+  guard : Interp.machine -> bool;  (** user-provided firing condition *)
+  cont : Contfun.t;
+}
+
+type transition_stats = {
+  fired_at : int;
+  comp_entry_instrs : int;  (** instructions executed in f'to's entry block *)
+}
+
+exception Transfer_failed of string
+
+(* Evaluate the parameter sources in the source frame. *)
+let eval_sources (m : Interp.machine) (sources : Ir.value list) : int list =
+  List.map
+    (fun v ->
+      match v with
+      | Ir.Const n -> n
+      | Ir.Undef -> raise (Transfer_failed "undef parameter source")
+      | Ir.Reg r -> (
+          match Hashtbl.find_opt m.frame r with
+          | Some n -> n
+          | None -> raise (Transfer_failed (Printf.sprintf "source register %%%s not in frame" r))))
+    sources
+
+(** Fire the transition now: build the continuation machine sharing the
+    source machine's memory. *)
+let fire (m : Interp.machine) (site : site) : Interp.machine =
+  let args = eval_sources m site.cont.param_sources in
+  Interp.create ~memory:m.memory site.cont.fto ~args
+
+(** Run [machine], transferring control at the first armed point whose
+    guard fires; continue in the continuation to completion.  Returns the
+    final result and whether/where an OSR fired. *)
+let run_with_osr ?(fuel = 10_000_000) (machine : Interp.machine) (sites : site list) :
+    (Interp.outcome, Interp.trap) result * transition_stats option =
+  let find_site id = List.find_opt (fun s -> s.at = id) sites in
+  let rec go budget =
+    if budget = 0 then raise Interp.Out_of_fuel
+    else
+      match Interp.next_instr_id machine with
+      | Some id when (match find_site id with Some s -> s.guard machine | None -> false) ->
+          let site = Option.get (find_site id) in
+          let cont_machine = fire machine site in
+          let result = Interp.run_machine ~fuel:budget cont_machine in
+          let result =
+            (* Events observed before the transition belong to the
+               activation. *)
+            match result with
+            | Ok o ->
+                Ok
+                  {
+                    o with
+                    Interp.events = List.rev_append machine.events o.Interp.events;
+                    steps = machine.steps + o.Interp.steps;
+                  }
+            | Error _ as e -> e
+          in
+          (result, Some { fired_at = id; comp_entry_instrs = List.length (Ir.entry site.cont.fto).body })
+      | Some _ -> (
+          match Interp.step machine with
+          | Running -> go (budget - 1)
+          | Returned ret ->
+              ( Ok { Interp.ret; events = List.rev machine.events; steps = machine.steps },
+                None )
+          | Trapped t -> (Error t, None))
+      | None -> (
+          match machine.status with
+          | Returned ret ->
+              ( Ok { Interp.ret; events = List.rev machine.events; steps = machine.steps },
+                None )
+          | Trapped t -> (Error t, None)
+          | Running -> assert false)
+  in
+  go fuel
+
+(** One-shot helper used by tests and benchmarks: run [src], transition at
+    the [n]-th dynamic arrival (default first) at source point [at] into
+    [target] at [landing] using [plan], and return the final result. *)
+let run_transition ?(fuel = 10_000_000) ?(arrival = 0) ~(src : Ir.func) ~(args : int list)
+    ~(at : int) ~(target : Ir.func) ~(landing : int) (plan : Reconstruct_ir.plan) :
+    (Interp.outcome, Interp.trap) result =
+  let cont = Contfun.generate target ~landing plan in
+  let machine = Interp.create src ~args in
+  let seen = ref 0 in
+  let guard (_ : Interp.machine) =
+    let hit = !seen = arrival in
+    incr seen;
+    hit
+  in
+  fst (run_with_osr ~fuel machine [ { at; guard; cont } ])

@@ -1,0 +1,45 @@
+open Import
+
+(** The OSR runtime: arm OSR points on a running TinyVM machine and fire
+    transitions through generated continuation functions, OSRKit-style
+    (Section 5.4). *)
+
+type site = {
+  at : int;  (** source instruction id where the transition may fire *)
+  guard : Interp.machine -> bool;  (** firing condition *)
+  cont : Contfun.t;
+}
+
+type transition_stats = {
+  fired_at : int;
+  comp_entry_instrs : int;  (** instructions in f'to's entry block *)
+}
+
+exception Transfer_failed of string
+
+val fire : Interp.machine -> site -> Interp.machine
+(** Build the continuation machine now, sharing the source machine's
+    memory.
+    @raise Transfer_failed when a parameter source is not in the frame *)
+
+val run_with_osr :
+  ?fuel:int ->
+  Interp.machine ->
+  site list ->
+  (Interp.outcome, Interp.trap) result * transition_stats option
+(** Run the machine, transferring control at the first armed point whose
+    guard fires, and continue in the continuation to completion.  Events
+    observed before the transition belong to the activation. *)
+
+val run_transition :
+  ?fuel:int ->
+  ?arrival:int ->
+  src:Ir.func ->
+  args:int list ->
+  at:int ->
+  target:Ir.func ->
+  landing:int ->
+  Reconstruct_ir.plan ->
+  (Interp.outcome, Interp.trap) result
+(** One-shot helper: run [src], transition at the [arrival]-th dynamic
+    arrival at [at] into [target] at [landing] using [plan]. *)

@@ -1,0 +1,84 @@
+open Import
+
+(** Algorithm 1 over SSA (Section 5.2): build the compensation plan that
+    materializes every destination value live at the OSR landing point from
+    values available in the source frame.  Includes the constant-φ
+    identification and replace-alias reuse of Section 5.4, the
+    no-intervening-store load guard of Section 5.3, the iteration-
+    consistency guard (DESIGN.md, "Deviations and findings"), and the
+    gating-function extension of Section 9. *)
+
+type variant =
+  | Live  (** read only source registers live at the origin *)
+  | Avail
+      (** also read registers whose definition dominates the origin,
+          accumulating the keep set [K_avail] of Table 3 *)
+
+(** Ablation switches (benchmarked by [bench/main.exe ablate]). *)
+type config = {
+  constant_phi : bool;  (** Section 5.4 constant-φ identification *)
+  use_aliases : bool;  (** value equivalences from replace actions *)
+  gating : bool;  (** Section 9: rebuild two-way φs as selects *)
+}
+
+val default_config : config
+
+exception Undef of Ir.reg
+(** Algorithm 1's [throw undef]. *)
+
+type comp_instr = { target : Ir.reg; rhs : Ir.rhs }
+(** One compensation instruction: register operands refer to transferred or
+    earlier-compensated destination registers. *)
+
+type plan = {
+  transfers : (Ir.reg * Ir.value) list;
+      (** destination register ← source value, applied first as an atomic
+          snapshot of the source frame *)
+  comp : comp_instr list;  (** executed in order after the transfers *)
+  keep : Ir.reg list;
+      (** source registers the [Avail] variant reads although they are not
+          live at the origin *)
+}
+
+val comp_size : plan -> int
+val plan_is_empty : plan -> bool
+
+(** Mutable accumulator shared across the per-register [build] calls of one
+    OSR point pair. *)
+type state = {
+  mutable transfers : (Ir.reg * Ir.value) list;  (** reversed *)
+  mutable comp : comp_instr list;  (** reversed *)
+  mutable keep : Ir.reg list;
+  resolved : (Ir.reg, Ir.value) Hashtbl.t;
+}
+
+val fresh_state : unit -> state
+
+val build :
+  ?config:config ->
+  Osr_ctx.t ->
+  variant ->
+  state ->
+  src_point:int ->
+  landing:int ->
+  Ir.reg ->
+  Ir.value
+(** Resolve one destination register, extending the plan; returns the value
+    consumers should use for it.
+    @raise Undef when the register defeats reconstruction *)
+
+val for_point_pair :
+  ?variant:variant ->
+  ?config:config ->
+  Osr_ctx.t ->
+  src_point:int ->
+  landing:int ->
+  (plan, Ir.reg) result
+(** The full plan for one OSR point pair: every destination register live
+    at the landing point. *)
+
+val eval_plan :
+  plan -> src_frame:Interp.frame -> memory:Interp.memory -> (Interp.frame, Ir.reg) result
+(** Evaluate a plan against a source frame, producing the landing frame —
+    [[[c]](σ)] of Definition 3.1 at IR level.  Loads read the shared
+    memory (sound by the store invariant of Section 5.3). *)

@@ -1,0 +1,1 @@
+lib/passes/adce.ml: Code_mapper Hashtbl Import Int Ir List Option Queue Set

@@ -1,0 +1,1 @@
+lib/passes/code_mapper.ml: Hashtbl Import Ir List String

@@ -1,0 +1,1 @@
+lib/passes/constprop.ml: Code_mapper Fold Import Ir List Option

@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Code_mapper Dom Hashtbl Import Ir List Mem2reg Option Printf String

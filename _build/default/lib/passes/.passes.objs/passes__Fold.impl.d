@@ -1,0 +1,1 @@
+lib/passes/fold.ml: Import Ir List Option

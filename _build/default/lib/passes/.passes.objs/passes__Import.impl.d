@@ -1,0 +1,1 @@
+lib/passes/import.ml: Miniir

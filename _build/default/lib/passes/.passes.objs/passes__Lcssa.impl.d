@@ -1,0 +1,1 @@
+lib/passes/lcssa.ml: Code_mapper Dom Hashtbl Import Ir List Loops Option String

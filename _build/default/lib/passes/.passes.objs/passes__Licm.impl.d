@@ -1,0 +1,1 @@
+lib/passes/licm.ml: Code_mapper Dom Hashtbl Import Ir List Loops Option

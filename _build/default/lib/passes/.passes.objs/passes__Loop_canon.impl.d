@@ -1,0 +1,1 @@
+lib/passes/loop_canon.ml: Code_mapper Import Ir List Loops Option Printf String

@@ -1,0 +1,1 @@
+lib/passes/mem2reg.ml: Array Dom Hashtbl Import Ir List Map Option Queue String

@@ -1,0 +1,1 @@
+lib/passes/pass_manager.ml: Adce Code_mapper Constprop Cse Fmt Import Ir Lcssa Licm List Loop_canon Mem2reg Sccp Sink Verifier

@@ -1,0 +1,1 @@
+lib/passes/sccp.ml: Code_mapper Fold Hashtbl Import Ir List Option Queue

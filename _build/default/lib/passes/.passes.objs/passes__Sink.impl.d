@@ -1,0 +1,1 @@
+lib/passes/sink.ml: Code_mapper Dom Hashtbl Import Ir List Option String

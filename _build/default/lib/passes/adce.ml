@@ -1,0 +1,54 @@
+open Import
+
+(** Aggressive dead code elimination (ADCE): start from the roots —
+    side-effecting instructions and all terminators — and transitively mark
+    everything they read; delete the rest.  Unlike a simple dead-store
+    sweep, whole computation chains die at once.  OSR-aware: deletions are
+    recorded. *)
+
+module ISet = Set.Make (Int)
+
+let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+  let def_tbl = Ir.def_table f in
+  let live = ref ISet.empty in
+  let worklist = Queue.create () in
+  let mark_reg r =
+    match Hashtbl.find_opt def_tbl r with
+    | Some (d : Ir.def_site) ->
+        if not (ISet.mem d.di.id !live) then begin
+          live := ISet.add d.di.id !live;
+          Queue.push d.di worklist
+        end
+    | None -> ()
+  in
+  (* Roots: side effects + terminator operands. *)
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          if Ir.has_side_effects i.rhs then begin
+            live := ISet.add i.id !live;
+            Queue.push i worklist
+          end)
+        (Ir.block_instrs b);
+      List.iter mark_reg (Ir.term_uses b.term))
+    f.blocks;
+  while not (Queue.is_empty worklist) do
+    let i = Queue.pop worklist in
+    List.iter mark_reg (Ir.rhs_uses i.rhs)
+  done;
+  let changed = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      let keep (i : Ir.instr) =
+        let k = ISet.mem i.id !live in
+        if not k then begin
+          Option.iter (fun m -> Code_mapper.delete_instr m i) mapper;
+          changed := true
+        end;
+        k
+      in
+      b.phis <- List.filter keep b.phis;
+      b.body <- List.filter keep b.body)
+    f.blocks;
+  !changed

@@ -1,0 +1,141 @@
+open Import
+
+(** The CodeMapper: records the five primitive IR-manipulation actions of
+    Section 5.1 while a pass transforms a cloned function, and answers the
+    queries the OSR machinery needs afterwards:
+
+    {ol
+    {- [add(inst, loc)] — a new instruction was inserted}
+    {- [delete(loc)] — an instruction was removed}
+    {- [hoist(loc, newLoc)] — an instruction moved against the CFG order}
+    {- [sink(loc, newLoc)] — an instruction moved along the CFG order}
+    {- [replace(oldOp, newOp, \[inst\])] — operand uses rewritten}}
+
+    Because clones preserve instruction ids and register names, the mapping
+    between program points and variables of the two versions (the Δ and the
+    value map of Section 4.2/5.1) falls out of this action history. *)
+
+type action =
+  | Add of { id : int; block : string }
+  | Delete of { id : int }
+  | Hoist of { id : int; from_block : string; to_block : string }
+  | Sink of { id : int; from_block : string; to_block : string }
+  | Replace of { old_value : Ir.value; new_value : Ir.value; inst : int option }
+      (** [inst = None] means all uses were rewritten *)
+
+let action_kind = function
+  | Add _ -> `Add
+  | Delete _ -> `Delete
+  | Hoist _ -> `Hoist
+  | Sink _ -> `Sink
+  | Replace _ -> `Replace
+
+type t = {
+  mutable actions : action list;  (** most recent first *)
+  deleted : (int, unit) Hashtbl.t;
+  added : (int, unit) Hashtbl.t;
+  moved : (int, string * string) Hashtbl.t;  (** id → (original block, current block) *)
+  (* Value equivalences from replace actions: maps an optimized-side value
+     to base-side values it stands for, and vice versa.  Chains are
+     resolved at query time. *)
+  repl_fwd : (string, Ir.value) Hashtbl.t;  (** base reg → value it was replaced by *)
+}
+
+let create () : t =
+  {
+    actions = [];
+    deleted = Hashtbl.create 32;
+    added = Hashtbl.create 16;
+    moved = Hashtbl.create 16;
+    repl_fwd = Hashtbl.create 32;
+  }
+
+let record (m : t) (a : action) : unit = m.actions <- a :: m.actions
+
+(* --- recording API used by the passes ------------------------------- *)
+
+let add_instr (m : t) (i : Ir.instr) ~(block : string) : unit =
+  Hashtbl.replace m.added i.id ();
+  record m (Add { id = i.id; block })
+
+let delete_instr (m : t) (i : Ir.instr) : unit =
+  Hashtbl.replace m.deleted i.id ();
+  record m (Delete { id = i.id })
+
+let hoist_instr (m : t) (i : Ir.instr) ~(from_block : string) ~(to_block : string) : unit =
+  let orig =
+    match Hashtbl.find_opt m.moved i.id with Some (o, _) -> o | None -> from_block
+  in
+  Hashtbl.replace m.moved i.id (orig, to_block);
+  record m (Hoist { id = i.id; from_block; to_block })
+
+let sink_instr (m : t) (i : Ir.instr) ~(from_block : string) ~(to_block : string) : unit =
+  let orig =
+    match Hashtbl.find_opt m.moved i.id with Some (o, _) -> o | None -> from_block
+  in
+  Hashtbl.replace m.moved i.id (orig, to_block);
+  record m (Sink { id = i.id; from_block; to_block })
+
+let replace_all_uses (m : t) ~(old_value : Ir.value) ~(new_value : Ir.value) : unit =
+  (match old_value with
+  | Ir.Reg r -> Hashtbl.replace m.repl_fwd r new_value
+  | Ir.Const _ | Ir.Undef -> ());
+  record m (Replace { old_value; new_value; inst = None })
+
+let replace_use_in (m : t) ~(inst : Ir.instr) ~(old_value : Ir.value) ~(new_value : Ir.value) :
+    unit =
+  record m (Replace { old_value; new_value; inst = Some inst.id })
+
+(* --- queries used by the OSR layer ---------------------------------- *)
+
+let is_deleted (m : t) (id : int) : bool = Hashtbl.mem m.deleted id
+let is_added (m : t) (id : int) : bool = Hashtbl.mem m.added id
+
+(** Resolve the replacement chain of a base-side register: the value that
+    holds it in the optimized version ([None] if it was never replaced).
+    CSE chains (a → b, b → c) resolve to the final survivor. *)
+let resolve_replacement (m : t) (r : Ir.reg) : Ir.value option =
+  let rec follow v depth =
+    if depth = 0 then v
+    else
+      match v with
+      | Ir.Reg r' -> (
+          match Hashtbl.find_opt m.repl_fwd r' with
+          | Some v' -> follow v' (depth - 1)
+          | None -> v)
+      | Ir.Const _ | Ir.Undef -> v
+  in
+  match Hashtbl.find_opt m.repl_fwd r with Some v -> Some (follow v 64) | None -> None
+
+(** Base-side registers equivalent to the given optimized-side register —
+    the implicit aliasing information captured from replace actions
+    (Section 5.4): [r] itself plus every base register whose replacement
+    chain ends at [r]. *)
+let base_aliases_of (m : t) (r : Ir.reg) : Ir.reg list =
+  let aliases = ref [ r ] in
+  Hashtbl.iter
+    (fun old _ ->
+      match resolve_replacement m old with
+      | Some (Ir.Reg r') when String.equal r r' && not (List.mem old !aliases) ->
+          aliases := old :: !aliases
+      | _ -> ())
+    m.repl_fwd;
+  !aliases
+
+(** Count of each primitive action kind, for Table 2. *)
+type counts = { add : int; delete : int; hoist : int; sink : int; replace : int }
+
+let zero_counts = { add = 0; delete = 0; hoist = 0; sink = 0; replace = 0 }
+
+let counts (m : t) : counts =
+  List.fold_left
+    (fun c a ->
+      match action_kind a with
+      | `Add -> { c with add = c.add + 1 }
+      | `Delete -> { c with delete = c.delete + 1 }
+      | `Hoist -> { c with hoist = c.hoist + 1 }
+      | `Sink -> { c with sink = c.sink + 1 }
+      | `Replace -> { c with replace = c.replace + 1 })
+    zero_counts m.actions
+
+let actions_in_order (m : t) : action list = List.rev m.actions

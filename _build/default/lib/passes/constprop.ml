@@ -1,0 +1,81 @@
+open Import
+
+(** Constant propagation (the paper's CP): fold instructions whose operands
+    are constants, replace all uses of the result with the constant, and
+    delete the instruction.  Also simplifies single-value φ-nodes exposed by
+    the folding.  OSR-aware: every deletion and use-rewrite is recorded in
+    the CodeMapper. *)
+
+let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    (* Find a foldable instruction. *)
+    let try_fold (b : Ir.block) (i : Ir.instr) : bool =
+      (* The traversal iterates over a snapshot of the body; skip
+         instructions already removed by an earlier fold this round. *)
+      if not (List.exists (fun (j : Ir.instr) -> j.id = i.id) b.body) then false
+      else
+      match (Fold.fold_rhs i.rhs, i.result) with
+      | Some n, Some r ->
+          let old_value = Ir.Reg r and new_value = Ir.Const n in
+          Option.iter (fun m -> Code_mapper.replace_all_uses m ~old_value ~new_value) mapper;
+          Option.iter (fun m -> Code_mapper.delete_instr m i) mapper;
+          (* Rewrite all uses, then remove the instruction. *)
+          let subst v = if Ir.equal_value v old_value then new_value else v in
+          List.iter
+            (fun (b' : Ir.block) ->
+              List.iter
+                (fun (j : Ir.instr) -> j.rhs <- Ir.map_rhs_operands subst j.rhs)
+                (Ir.block_instrs b');
+              b'.term <- Ir.map_term_operands subst b'.term)
+            f.blocks;
+          b.body <- List.filter (fun (j : Ir.instr) -> j.id <> i.id) b.body;
+          true
+      | _ -> false
+    in
+    (* Single-value φ: all incomings identical (and not the φ itself). *)
+    let try_phi (b : Ir.block) (i : Ir.instr) : bool =
+      if not (List.exists (fun (j : Ir.instr) -> j.id = i.id) b.phis) then false
+      else
+      match (i.rhs, i.result) with
+      | Ir.Phi ((_, v0) :: rest), Some r
+        when List.for_all (fun (_, v) -> Ir.equal_value v v0) rest
+             && not (Ir.equal_value v0 (Ir.Reg r)) ->
+          let old_value = Ir.Reg r in
+          Option.iter
+            (fun m -> Code_mapper.replace_all_uses m ~old_value ~new_value:v0)
+            mapper;
+          Option.iter (fun m -> Code_mapper.delete_instr m i) mapper;
+          let subst v = if Ir.equal_value v old_value then v0 else v in
+          List.iter
+            (fun (b' : Ir.block) ->
+              List.iter
+                (fun (j : Ir.instr) -> j.rhs <- Ir.map_rhs_operands subst j.rhs)
+                (Ir.block_instrs b');
+              b'.term <- Ir.map_term_operands subst b'.term)
+            f.blocks;
+          b.phis <- List.filter (fun (j : Ir.instr) -> j.id <> i.id) b.phis;
+          true
+      | _ -> false
+    in
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun i ->
+            if try_fold b i then begin
+              changed := true;
+              continue_ := true
+            end)
+          b.body;
+        List.iter
+          (fun i ->
+            if try_phi b i then begin
+              changed := true;
+              continue_ := true
+            end)
+          b.phis)
+      f.blocks
+  done;
+  !changed

@@ -1,0 +1,7 @@
+(** Local aliases for the MiniIR modules used throughout the passes. *)
+
+module Ir = Miniir.Ir
+module Dom = Miniir.Dom
+module Liveness = Miniir.Liveness
+module Loops = Miniir.Loops
+module Verifier = Miniir.Verifier

@@ -1,0 +1,107 @@
+open Import
+
+(** Loop-invariant code motion (LICM): hoist pure instructions whose
+    operands are defined outside the loop (or are themselves hoisted
+    invariants) into the loop preheader.  Requires LoopCanon to have run.
+
+    Safety rules:
+    - side-effecting instructions, φ-nodes and allocas never move;
+    - possibly-trapping instructions (sdiv/srem) only move if their block
+      dominates every loop exit (no speculation of traps);
+    - loads only move if the loop contains no store or impure call
+      (our alias analysis is "all memory may alias");
+    - other pure instructions may be speculated freely.
+
+    OSR-aware: every motion is recorded as a [hoist] action. *)
+
+let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+  let changed = ref false in
+  let loop_info = Loops.compute f in
+  List.iter
+    (fun (l : Loops.loop) ->
+      match Loops.preheader f l with
+      | None -> ()
+      | Some ph_label ->
+          let ph = Ir.block_exn f ph_label in
+          let loop_has_memory_effects =
+            List.exists
+              (fun label ->
+                match Ir.find_block f label with
+                | Some b ->
+                    List.exists
+                      (fun (i : Ir.instr) ->
+                        match i.rhs with
+                        | Ir.Store _ -> true
+                        | Ir.Call (name, _) -> not (Ir.is_pure_call name)
+                        | _ -> false)
+                      b.body
+                | None -> false)
+              l.body
+          in
+          let exits = Loops.exit_targets f l in
+          (* Registers defined inside the loop (before any hoisting). *)
+          let defined_in : (Ir.reg, unit) Hashtbl.t = Hashtbl.create 32 in
+          List.iter
+            (fun label ->
+              match Ir.find_block f label with
+              | Some b ->
+                  List.iter
+                    (fun (i : Ir.instr) ->
+                      match i.result with Some r -> Hashtbl.replace defined_in r () | None -> ())
+                    (Ir.block_instrs b)
+              | None -> ())
+            l.body;
+          let hoisted : (Ir.reg, unit) Hashtbl.t = Hashtbl.create 8 in
+          let invariant_operand v =
+            match v with
+            | Ir.Const _ | Ir.Undef -> true
+            | Ir.Reg r -> (not (Hashtbl.mem defined_in r)) || Hashtbl.mem hoisted r
+          in
+          let continue_ = ref true in
+          while !continue_ do
+            continue_ := false;
+            List.iter
+              (fun label ->
+                match Ir.find_block f label with
+                | None -> ()
+                | Some b ->
+                    let dominates_exits =
+                      List.for_all
+                        (fun e -> Dom.dominates_block loop_info.dom ~a:label ~b:e)
+                        exits
+                    in
+                    let to_hoist, keep =
+                      List.partition
+                        (fun (i : Ir.instr) ->
+                          let movable =
+                            match i.rhs with
+                            | Ir.Phi _ | Ir.Alloca _ | Ir.Store _ -> false
+                            | Ir.Call (name, _) when not (Ir.is_pure_call name) -> false
+                            | Ir.Load _ -> not loop_has_memory_effects
+                            | Ir.Binop ((Ir.Sdiv | Ir.Srem), _, _) -> dominates_exits
+                            | Ir.Binop _ | Ir.Icmp _ | Ir.Select _ | Ir.Call _ -> true
+                          in
+                          movable
+                          && List.for_all invariant_operand (Ir.rhs_operands i.rhs))
+                        b.body
+                    in
+                    if to_hoist <> [] then begin
+                      changed := true;
+                      continue_ := true;
+                      b.body <- keep;
+                      ph.body <- ph.body @ to_hoist;
+                      List.iter
+                        (fun (i : Ir.instr) ->
+                          (match i.result with
+                          | Some r -> Hashtbl.replace hoisted r ()
+                          | None -> ());
+                          Option.iter
+                            (fun m ->
+                              Code_mapper.hoist_instr m i ~from_block:label ~to_block:ph_label)
+                            mapper)
+                        to_hoist
+                    end)
+              l.body
+          done)
+    loop_info.loops;
+  !changed

@@ -1,0 +1,79 @@
+open Import
+
+(** The pass manager: implements the paper's [apply] (Sections 4.2 and
+    5.4) at the IR level — clone the function, run an optimization
+    pipeline over the clone with a shared CodeMapper recording every
+    primitive action, verify SSA after each pass, and hand back everything
+    the OSR layer needs. *)
+
+type pass = {
+  pname : string;
+  run : ?mapper:Code_mapper.t -> Ir.func -> bool;
+  instrumented : bool;
+      (** does this pass record CodeMapper actions (Table 1's pass set)? *)
+}
+
+let mem2reg : pass =
+  { pname = "mem2reg"; run = (fun ?mapper:_ f -> Mem2reg.run f); instrumented = false }
+
+let constprop : pass = { pname = "CP"; run = Constprop.run; instrumented = true }
+let sccp : pass = { pname = "SCCP"; run = Sccp.run; instrumented = true }
+let cse : pass = { pname = "CSE"; run = Cse.run; instrumented = true }
+let adce : pass = { pname = "ADCE"; run = Adce.run; instrumented = true }
+let loop_canon : pass = { pname = "LC"; run = Loop_canon.run; instrumented = true }
+let lcssa : pass = { pname = "LCSSA"; run = Lcssa.run; instrumented = true }
+let licm : pass = { pname = "LICM"; run = Licm.run; instrumented = true }
+let sink : pass = { pname = "Sink"; run = Sink.run; instrumented = true }
+
+(** The optimization pipeline of Section 5.4 (ADCE, CP, CSE, LICM, SCCP,
+    Sink, plus the LC and LCSSA utility passes LICM requires). *)
+let standard_pipeline : pass list =
+  [ constprop; sccp; cse; loop_canon; lcssa; licm; sink; adce ]
+
+type apply_result = {
+  fbase : Ir.func;  (** the input function, untouched *)
+  fopt : Ir.func;  (** the optimized clone *)
+  mapper : Code_mapper.t;  (** action history across the whole pipeline *)
+  per_pass : (string * Code_mapper.counts) list;  (** actions recorded by each pass *)
+}
+
+exception Verification_failed of string * string  (** pass name, details *)
+
+(** Clone [f] and optimize the clone with [pipeline], recording actions.
+    The SSA verifier runs after every pass; a failure names the culprit. *)
+let apply ?(pipeline = standard_pipeline) ?(verify = true) (f : Ir.func) : apply_result =
+  let fopt = Ir.clone_func f in
+  let mapper = Code_mapper.create () in
+  let per_pass = ref [] in
+  List.iter
+    (fun (p : pass) ->
+      let before = Code_mapper.counts mapper in
+      let _changed : bool = p.run ~mapper fopt in
+      let after = Code_mapper.counts mapper in
+      let delta : Code_mapper.counts =
+        {
+          add = after.add - before.add;
+          delete = after.delete - before.delete;
+          hoist = after.hoist - before.hoist;
+          sink = after.sink - before.sink;
+          replace = after.replace - before.replace;
+        }
+      in
+      per_pass := (p.pname, delta) :: !per_pass;
+      if verify then
+        match Verifier.verify fopt with
+        | Ok () -> ()
+        | Error es ->
+            raise
+              (Verification_failed
+                 (p.pname, Fmt.str "%a" (Fmt.list ~sep:Fmt.cut Verifier.pp_error) es)))
+    pipeline;
+  { fbase = f; fopt; mapper; per_pass = List.rev !per_pass }
+
+(** Run mem2reg in place on a freshly built alloca-form function to obtain
+    the paper's [fbase] (clang -O0 + mem2reg). *)
+let to_fbase ?(verify = true) (f : Ir.func) : Ir.func =
+  let f' = Ir.clone_func f in
+  let _ : bool = Mem2reg.run f' in
+  if verify then Verifier.verify_exn f';
+  f'

@@ -1,0 +1,97 @@
+(** Plain-text rendering of the paper's tables and figures: aligned-column
+    tables and horizontal stacked bar charts, shared by the benchmark
+    harness and the CLI. *)
+
+let hr width = String.make width '-'
+
+(** Render an aligned table.  The first row of [rows] may be separated from
+    the rest with a rule when [header] is given. *)
+let table ?(title = "") ~(header : string list) (rows : string list list) : string =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let pad = widths.(i) - String.length cell in
+           if i = 0 then cell ^ String.make pad ' ' else String.make pad ' ' ^ cell)
+         row)
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (cols - 1))
+  in
+  let buf = Buffer.create 1024 in
+  if title <> "" then Buffer.add_string buf (Printf.sprintf "%s\n%s\n" title (hr total_width));
+  Buffer.add_string buf (render_row header ^ "\n");
+  Buffer.add_string buf (hr total_width ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.contents buf
+
+(** Horizontal stacked percentage bars, one per labelled entry.  Segments
+    are (glyph, percentage-of-total) pairs; percentages are cumulative in
+    the input (e.g. 10, 60, 95 renders three nested extents), matching the
+    paper's stacked "c=⟨⟩ / live / avail" bars. *)
+let stacked_bars ?(title = "") ?(width = 50) (entries : (string * (char * float) list) list) :
+    string =
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let buf = Buffer.create 1024 in
+  if title <> "" then Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (label, segments) ->
+      let bar = Bytes.make width ' ' in
+      (* Draw outermost (largest) first so inner segments overwrite. *)
+      let sorted = List.sort (fun (_, a) (_, b) -> compare b a) segments in
+      List.iter
+        (fun (glyph, pct) ->
+          let n = int_of_float (Float.round (pct /. 100.0 *. float_of_int width)) in
+          for i = 0 to min n width - 1 do
+            Bytes.set bar i glyph
+          done)
+        sorted;
+      let pcts =
+        String.concat " "
+          (List.map (fun (g, pct) -> Printf.sprintf "%c=%5.1f%%" g pct) segments)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s| %s\n" label_w label (Bytes.to_string bar) pcts))
+    entries;
+  Buffer.contents buf
+
+(** Simple labelled horizontal bars on a 0..1 scale (Figure 9 style). *)
+let ratio_bars ?(title = "") ?(width = 40) (entries : (string * (string * float) list) list) :
+    string =
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries in
+  let buf = Buffer.create 1024 in
+  if title <> "" then Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (label, series) ->
+      List.iteri
+        (fun i (name, ratio) ->
+          let n = int_of_float (Float.round (ratio *. float_of_int width)) in
+          let bar = String.make (max 0 (min n width)) '#' in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %-6s |%-*s| %.3f\n"
+               label_w
+               (if i = 0 then label else "")
+               name width bar ratio))
+        series)
+    entries;
+  Buffer.contents buf
+
+let fmt_float ?(digits = 2) (x : float) = Printf.sprintf "%.*f" digits x
+
+let mean_stddev (xs : float list) : float * float =
+  match xs with
+  | [] -> (0.0, 0.0)
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n in
+      (mean, sqrt var)

@@ -1,0 +1,1 @@
+lib/rewrite/engine.ml: Array Ctl List Minilang Rule

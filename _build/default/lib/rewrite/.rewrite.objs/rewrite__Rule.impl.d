@@ -1,0 +1,1 @@
+lib/rewrite/rule.ml: Ctl List

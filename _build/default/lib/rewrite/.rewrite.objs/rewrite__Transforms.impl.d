@@ -1,0 +1,1 @@
+lib/rewrite/transforms.ml: Array Ctl Engine Minilang Rule

@@ -1,0 +1,1 @@
+lib/tinyvm/interp.ml: Fmt Hashtbl List Miniir Option Passes String

@@ -1,0 +1,1 @@
+lib/tinyvm/interp.mli: Format Hashtbl Miniir

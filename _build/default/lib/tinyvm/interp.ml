@@ -1,0 +1,255 @@
+(** TinyVM: an interpreter for MiniIR with a step-wise machine API, the
+    stand-in for the paper's OSRKit/TinyVM artifact (LLVM MCJIT).  The OSR
+    layer drives a {!machine} instruction by instruction, so a transition
+    can fire at {e any} program point, transfer the live frame, and resume
+    in another function version. *)
+
+module Ir = Miniir.Ir
+
+type trap =
+  | Division_by_zero of int  (** instruction id *)
+  | Undef_read of int
+  | Unknown_intrinsic of string * int
+  | Unreachable_reached of string  (** block label *)
+  | No_such_block of string
+  | Bad_arity of string
+
+let pp_trap ppf = function
+  | Division_by_zero id -> Fmt.pf ppf "division by zero at #%d" id
+  | Undef_read id -> Fmt.pf ppf "read of undef at #%d" id
+  | Unknown_intrinsic (n, id) -> Fmt.pf ppf "unknown intrinsic @%s at #%d" n id
+  | Unreachable_reached l -> Fmt.pf ppf "reached 'unreachable' in block %s" l
+  | No_such_block l -> Fmt.pf ppf "branch to missing block %s" l
+  | Bad_arity f -> Fmt.pf ppf "wrong argument count for @%s" f
+
+type event = { callee : string; arg_values : int list }
+
+let equal_event a b = String.equal a.callee b.callee && a.arg_values = b.arg_values
+
+(** Observable result of a run.  Two traps are observationally equal
+    regardless of machine state — an aborting execution has undefined
+    semantics in the paper's framework (Definition 2.4). *)
+type outcome = {
+  ret : int;
+  events : event list;  (** impure intrinsic calls, in order *)
+  steps : int;
+}
+
+type memory = { cells : (int, int) Hashtbl.t; mutable brk : int }
+
+let fresh_memory () : memory = { cells = Hashtbl.create 256; brk = 1024 }
+
+let mem_load (m : memory) (addr : int) : int =
+  Option.value ~default:0 (Hashtbl.find_opt m.cells addr)
+
+let mem_store (m : memory) (addr : int) (v : int) : unit = Hashtbl.replace m.cells addr v
+
+type frame = (Ir.reg, int) Hashtbl.t
+
+type status = Running | Returned of int | Trapped of trap
+
+type machine = {
+  func : Ir.func;
+  frame : frame;
+  memory : memory;
+  mutable cur_block : Ir.block;
+  mutable idx : int;  (** index into [cur_block.body]; φ-nodes execute on entry *)
+  mutable status : status;
+  mutable steps : int;
+  mutable events : event list;  (** reversed *)
+}
+
+exception Trap of trap
+
+let read (m : machine) ~(at : int) (v : Ir.value) : int =
+  match v with
+  | Ir.Const n -> n
+  | Ir.Undef -> raise (Trap (Undef_read at))
+  | Ir.Reg r -> (
+      match Hashtbl.find_opt m.frame r with
+      | Some n -> n
+      | None -> raise (Trap (Undef_read at)))
+
+(* Execute the φ-nodes of [target] for an entry from [pred]: all read the
+   old frame, then all write (simultaneous assignment). *)
+let enter_block (m : machine) ~(pred : string) (target : Ir.block) : unit =
+  let values =
+    List.map
+      (fun (i : Ir.instr) ->
+        match i.rhs with
+        | Ir.Phi incoming -> (
+            match List.assoc_opt pred incoming with
+            | Some Ir.Undef ->
+                (* An undef incoming poisons the φ result lazily: the value
+                   only traps if actually read later (LLVM-style). *)
+                (i.result, None)
+            | Some v -> (i.result, Some (read m ~at:i.id v))
+            | None -> raise (Trap (Undef_read i.id)))
+        | _ -> raise (Trap (Undef_read i.id)))
+      target.phis
+  in
+  List.iter
+    (fun (res, v) ->
+      match (res, v) with
+      | Some r, Some v -> Hashtbl.replace m.frame r v
+      | Some r, None -> Hashtbl.remove m.frame r
+      | None, _ -> ())
+    values;
+  m.cur_block <- target;
+  m.idx <- 0
+
+let exec_intrinsic (m : machine) ~(at : int) (name : string) (args : int list) : int =
+  if Ir.is_pure_call name then
+    match Passes.Fold.eval_intrinsic name args with
+    | Some v -> v
+    | None -> raise (Trap (Unknown_intrinsic (name, at)))
+  else
+    match name with
+    | "print" | "emit" | "checkpoint" ->
+        m.events <- { callee = name; arg_values = args } :: m.events;
+        0
+    | "read_seed" -> (
+        (* Deterministic "input": derived from the first argument. *)
+        match args with [ a ] -> (a * 48271) land 0xFFFF | _ -> raise (Trap (Bad_arity name)))
+    | _ -> raise (Trap (Unknown_intrinsic (name, at)))
+
+let exec_rhs (m : machine) (i : Ir.instr) : int option =
+  match i.rhs with
+  | Ir.Binop (op, a, b) -> (
+      let x = read m ~at:i.id a and y = read m ~at:i.id b in
+      match Passes.Fold.eval_binop op x y with
+      | Some v -> Some v
+      | None -> raise (Trap (Division_by_zero i.id)))
+  | Ir.Icmp (op, a, b) ->
+      Some (Passes.Fold.eval_icmp op (read m ~at:i.id a) (read m ~at:i.id b))
+  | Ir.Select (c, t, e) ->
+      (* Both arms are evaluated eagerly, consistent with select's
+         non-short-circuiting semantics. *)
+      let cv = read m ~at:i.id c in
+      let tv = read m ~at:i.id t and ev = read m ~at:i.id e in
+      Some (if cv <> 0 then tv else ev)
+  | Ir.Alloca n ->
+      let addr = m.memory.brk in
+      m.memory.brk <- addr + max 1 n;
+      Some addr
+  | Ir.Load a -> Some (mem_load m.memory (read m ~at:i.id a))
+  | Ir.Store (v, a) ->
+      mem_store m.memory (read m ~at:i.id a) (read m ~at:i.id v);
+      None
+  | Ir.Call (name, args) -> Some (exec_intrinsic m ~at:i.id name (List.map (read m ~at:i.id) args))
+  | Ir.Phi _ -> raise (Trap (Undef_read i.id))  (* φ executes at block entry *)
+
+(** One instruction (or terminator) step. *)
+let step (m : machine) : status =
+  match m.status with
+  | Returned _ | Trapped _ -> m.status
+  | Running -> (
+      m.steps <- m.steps + 1;
+      try
+        if m.idx < List.length m.cur_block.body then begin
+          let i = List.nth m.cur_block.body m.idx in
+          (match (exec_rhs m i, i.result) with
+          | Some v, Some r -> Hashtbl.replace m.frame r v
+          | Some _, None | None, None -> ()
+          | None, Some r -> Hashtbl.replace m.frame r 0);
+          m.idx <- m.idx + 1;
+          Running
+        end
+        else begin
+          (match m.cur_block.term with
+          | Ir.Br l -> (
+              match Ir.find_block m.func l with
+              | Some b -> enter_block m ~pred:m.cur_block.label b
+              | None -> raise (Trap (No_such_block l)))
+          | Ir.Cbr (c, t, e) -> (
+              let l = if read m ~at:m.cur_block.term_id c <> 0 then t else e in
+              match Ir.find_block m.func l with
+              | Some b -> enter_block m ~pred:m.cur_block.label b
+              | None -> raise (Trap (No_such_block l)))
+          | Ir.Ret v -> m.status <- Returned (read m ~at:m.cur_block.term_id v)
+          | Ir.Unreachable -> raise (Trap (Unreachable_reached m.cur_block.label)));
+          m.status
+        end
+      with Trap t ->
+        m.status <- Trapped t;
+        m.status)
+
+(** The id of the instruction (or terminator) the machine will execute
+    next — the machine's current program point. *)
+let next_instr_id (m : machine) : int option =
+  match m.status with
+  | Returned _ | Trapped _ -> None
+  | Running ->
+      if m.idx < List.length m.cur_block.body then
+        Some (List.nth m.cur_block.body m.idx).id
+      else Some m.cur_block.term_id
+
+let create ?(memory : memory option) (f : Ir.func) ~(args : int list) : machine =
+  if List.length args <> List.length f.params then raise (Trap (Bad_arity f.fname));
+  let frame = Hashtbl.create 32 in
+  List.iter2 (fun p a -> Hashtbl.replace frame p a) f.params args;
+  {
+    func = f;
+    frame;
+    memory = (match memory with Some m -> m | None -> fresh_memory ());
+    cur_block = Ir.entry f;
+    idx = 0;
+    status = Running;
+    steps = 0;
+    events = [];
+  }
+
+exception Out_of_fuel
+
+(** Run a machine to completion. *)
+let run_machine ?(fuel = 10_000_000) (m : machine) : (outcome, trap) result =
+  let rec go budget =
+    if budget = 0 then raise Out_of_fuel
+    else
+      match step m with
+      | Running -> go (budget - 1)
+      | Returned ret -> Ok { ret; events = List.rev m.events; steps = m.steps }
+      | Trapped t -> Error t
+  in
+  go fuel
+
+(** Convenience one-shot execution. *)
+let run ?fuel ?memory (f : Ir.func) ~(args : int list) : (outcome, trap) result =
+  match create ?memory f ~args with
+  | m -> run_machine ?fuel m
+  | exception Trap t -> Error t
+
+(** Observable equality of results: equal returns and equal event traces,
+    or both trapped (any trap ≈ any trap). *)
+let equal_result (a : (outcome, trap) result) (b : (outcome, trap) result) : bool =
+  match (a, b) with
+  | Ok x, Ok y -> x.ret = y.ret && List.equal equal_event x.events y.events
+  | Error _, Error _ -> true
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let pp_result ppf = function
+  | Ok o -> Fmt.pf ppf "ret %d (%d steps, %d events)" o.ret o.steps (List.length o.events)
+  | Error t -> Fmt.pf ppf "trap: %a" pp_trap t
+
+(** Run to the first time the machine is {e about to execute} instruction
+    [point] (after [skip] earlier arrivals); used to set up OSR sources.
+    Returns [None] when the point is never reached. *)
+let run_to_point ?(fuel = 10_000_000) ?(skip = 0) (m : machine) ~(point : int) :
+    machine option =
+  let rec go budget remaining =
+    if budget = 0 then None
+    else
+      match next_instr_id m with
+      | Some id when id = point ->
+          if remaining = 0 then Some m
+          else begin
+            ignore (step m);
+            go (budget - 1) (remaining - 1)
+          end
+      | Some _ -> (
+          match step m with
+          | Running -> go (budget - 1) remaining
+          | Returned _ | Trapped _ -> None)
+      | None -> None
+  in
+  go fuel skip

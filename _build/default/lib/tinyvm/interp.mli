@@ -1,0 +1,83 @@
+(** TinyVM: an interpreter for MiniIR with a step-wise machine API, the
+    stand-in for the paper's OSRKit/TinyVM artifact.  The OSR layer drives
+    a {!machine} instruction by instruction, so a transition can fire at
+    any program point, transfer the live frame, and resume in another
+    function version. *)
+
+module Ir = Miniir.Ir
+
+type trap =
+  | Division_by_zero of int  (** instruction id *)
+  | Undef_read of int
+  | Unknown_intrinsic of string * int
+  | Unreachable_reached of string  (** block label *)
+  | No_such_block of string
+  | Bad_arity of string
+
+val pp_trap : Format.formatter -> trap -> unit
+
+type event = { callee : string; arg_values : int list }
+(** One observable (impure-intrinsic) call. *)
+
+val equal_event : event -> event -> bool
+
+(** Observable result of a run.  Two traps are observationally equal
+    regardless of machine state — aborting executions have undefined
+    semantics in the paper's framework (Definition 2.4). *)
+type outcome = { ret : int; events : event list; steps : int }
+
+type memory = { cells : (int, int) Hashtbl.t; mutable brk : int }
+(** Linear memory with a bump allocator; uninitialized cells read 0. *)
+
+val fresh_memory : unit -> memory
+val mem_load : memory -> int -> int
+val mem_store : memory -> int -> int -> unit
+
+type frame = (Ir.reg, int) Hashtbl.t
+(** Virtual-register environment of one activation. *)
+
+type status = Running | Returned of int | Trapped of trap
+
+type machine = {
+  func : Ir.func;
+  frame : frame;
+  memory : memory;
+  mutable cur_block : Ir.block;
+  mutable idx : int;  (** index into the current block's body *)
+  mutable status : status;
+  mutable steps : int;
+  mutable events : event list;  (** reversed *)
+}
+
+exception Trap of trap
+exception Out_of_fuel
+
+val create : ?memory:memory -> Ir.func -> args:int list -> machine
+(** Fresh machine at the function's entry.  Passing [memory] shares state
+    with another machine — how OSR transitions keep the store invariant.
+    @raise Trap on an argument-count mismatch *)
+
+val step : machine -> status
+(** Execute one instruction or terminator (φ-nodes run at block entry). *)
+
+val next_instr_id : machine -> int option
+(** The machine's current program point: the id of the instruction or
+    terminator it will execute next. *)
+
+val run_machine : ?fuel:int -> machine -> (outcome, trap) result
+(** Run to completion.
+    @raise Out_of_fuel past the step budget *)
+
+val run : ?fuel:int -> ?memory:memory -> Ir.func -> args:int list -> (outcome, trap) result
+(** One-shot execution. *)
+
+val run_to_point : ?fuel:int -> ?skip:int -> machine -> point:int -> machine option
+(** Run until the machine is about to execute [point] (after [skip] earlier
+    arrivals); [None] when never reached.  Used to set up OSR sources and
+    debugger breakpoints. *)
+
+val equal_result : (outcome, trap) result -> (outcome, trap) result -> bool
+(** Observable equality: equal returns and event traces; any trap equals
+    any trap. *)
+
+val pp_result : Format.formatter -> (outcome, trap) result -> unit

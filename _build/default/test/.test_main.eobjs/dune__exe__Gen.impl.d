@@ -1,0 +1,1 @@
+test/gen.ml: Array Gen List Minilang QCheck

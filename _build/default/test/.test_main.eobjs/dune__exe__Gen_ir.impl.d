@@ -1,0 +1,1 @@
+test/gen_ir.ml: Gen List Miniir Printf QCheck String

@@ -1,0 +1,1 @@
+test/suite_cfg.ml: Alcotest Array Gen Hashtbl Langcfg List Minilang Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_corpus.ml: Alcotest Corpus Hashtbl List Miniir Option Osrir Passes String Tinyvm

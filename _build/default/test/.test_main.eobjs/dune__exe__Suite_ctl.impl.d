@@ -1,0 +1,1 @@
+test/suite_ctl.ml: Alcotest Array Checker Ctl Formula Gen Langcfg List Minilang Option Patterns QCheck QCheck_alcotest

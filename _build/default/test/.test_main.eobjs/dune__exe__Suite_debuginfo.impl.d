@@ -1,0 +1,1 @@
+test/suite_debuginfo.ml: Alcotest Corpus Debuginfo Hashtbl List Miniir Option Osrir Passes Tinyvm

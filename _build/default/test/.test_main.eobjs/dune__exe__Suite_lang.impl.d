@@ -1,0 +1,1 @@
+test/suite_lang.ml: Alcotest Gen List Minilang QCheck QCheck_alcotest

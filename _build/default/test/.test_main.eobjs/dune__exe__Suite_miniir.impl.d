@@ -1,0 +1,1 @@
+test/suite_miniir.ml: Alcotest Fmt Gen_ir Hashtbl List Miniir QCheck QCheck_alcotest Tinyvm

@@ -1,0 +1,1 @@
+test/suite_osr.ml: Alcotest Array Gen List Minilang Osr QCheck QCheck_alcotest Rewrite

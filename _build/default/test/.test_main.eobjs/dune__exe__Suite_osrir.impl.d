@@ -1,0 +1,1 @@
+test/suite_osrir.ml: Alcotest Fmt Gen_ir Hashtbl List Miniir Osrir Passes Printf QCheck QCheck_alcotest String Tinyvm

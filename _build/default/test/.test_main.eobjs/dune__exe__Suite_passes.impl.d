@@ -1,0 +1,1 @@
+test/suite_passes.ml: Alcotest Fmt Gen_ir List Miniir Passes QCheck QCheck_alcotest Tinyvm

@@ -1,0 +1,1 @@
+test/suite_report.ml: Alcotest List Report String

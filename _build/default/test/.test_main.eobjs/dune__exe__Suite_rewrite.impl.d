@@ -1,0 +1,1 @@
+test/suite_rewrite.ml: Alcotest Gen List Minilang Osr QCheck QCheck_alcotest Rewrite

@@ -1,0 +1,162 @@
+(** QCheck generators for the paper's language: random well-formed,
+    terminating programs with enough structure (constants, dead stores,
+    skips, loops, branches) for the Figure 5 transformations to fire. *)
+
+open QCheck
+
+let var_pool = [ "a"; "b"; "c"; "d"; "t"; "u" ]
+
+(* Structured program fragments, lowered to flat goto form afterwards so
+   that generated programs are valid and always terminate (loops are
+   counter-bounded). *)
+type sblock =
+  | Sassign of string * Minilang.Ast.expr
+  | Sskip
+  | Sif of Minilang.Ast.expr * sblock list * sblock list
+  | Sloop of string * int * sblock list  (* counter var, bound, body *)
+
+let gen_expr ~(vars : string list) : Minilang.Ast.expr Gen.t =
+  let open Gen in
+  let num = map (fun n -> Minilang.Ast.Num n) (int_range (-8) 8) in
+  let leaf =
+    if vars = [] then num
+    else oneof [ num; map (fun x -> Minilang.Ast.Var x) (oneofl vars) ]
+  in
+  let binop =
+    oneofl
+      [ Minilang.Ast.Add; Sub; Mul; Eq; Ne; Lt; Le; Gt; Ge ]
+  in
+  (* Div/Mod are excluded here (they can abort); dedicated unit tests cover
+     them. *)
+  sized_size (int_range 0 2) (fix (fun self n ->
+      if n = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (4, map3 (fun op a b -> Minilang.Ast.Binop (op, a, b)) binop (self (n - 1)) (self (n - 1)));
+            ( 1,
+              (* Negation of a literal is folded so the surface syntax
+                 round-trips (the parser collapses -k to a literal). *)
+              map
+                (function
+                  | Minilang.Ast.Num k -> Minilang.Ast.Num (-k)
+                  | a -> Minilang.Ast.Unop (Minilang.Ast.Neg, a))
+                (self (n - 1)) );
+          ]))
+
+(* Generate a list of blocks; [defined] tracks variables safely readable. *)
+let rec gen_blocks ~(depth : int) ~(defined : string list) (len : int) :
+    (sblock list * string list) Gen.t =
+  let open Gen in
+  if len = 0 then return ([], defined)
+  else
+    let* block, defined' = gen_block ~depth ~defined in
+    let* rest, defined'' = gen_blocks ~depth ~defined:defined' (len - 1) in
+    return (block :: rest, defined'')
+
+and gen_block ~depth ~defined : (sblock * string list) Gen.t =
+  let open Gen in
+  let assign =
+    let* x = oneofl var_pool in
+    let* e =
+      frequency
+        [ (2, map (fun n -> Minilang.Ast.Num n) (int_range (-8) 8)); (3, gen_expr ~vars:defined) ]
+    in
+    return (Sassign (x, e), if List.mem x defined then defined else x :: defined)
+  in
+  let skip = return (Sskip, defined) in
+  if depth = 0 then frequency [ (5, assign); (2, skip) ]
+  else
+    let branch =
+      let* e = gen_expr ~vars:defined in
+      let* tlen = int_range 1 3 and* flen = int_range 0 2 in
+      let* tb, _ = gen_blocks ~depth:(depth - 1) ~defined tlen in
+      let* fb, _ = gen_blocks ~depth:(depth - 1) ~defined flen in
+      (* Only variables defined on both arms are definitely defined after;
+         to keep the generator simple we treat branch-defined vars as not
+         safely readable afterwards. *)
+      return (Sif (e, tb, fb), defined)
+    in
+    let loop =
+      let counter = "i" ^ string_of_int depth in
+      let* bound = int_range 1 4 in
+      let* blen = int_range 1 3 in
+      let* body, _ = gen_blocks ~depth:(depth - 1) ~defined:(counter :: defined) blen in
+      return (Sloop (counter, bound, body), counter :: defined)
+    in
+    frequency [ (5, assign); (2, skip); (2, branch); (2, loop) ]
+
+(* Size of the flat code a block lowers to. *)
+let rec size_block = function
+  | Sassign _ | Sskip -> 1
+  | Sif (_, t, f) -> 2 + size_blocks t + size_blocks f
+  | Sloop (_, _, b) -> 3 + size_blocks b
+
+and size_blocks bs = List.fold_left (fun acc b -> acc + size_block b) 0 bs
+
+(* Lower to flat instructions; [base] is the 1-based point of the first
+   lowered instruction. *)
+let rec lower_block (base : int) (b : sblock) : Minilang.Ast.instr list =
+  match b with
+  | Sassign (x, e) -> [ Assign (x, e) ]
+  | Sskip -> [ Skip ]
+  | Sif (e, t, f) ->
+      (* if (e) goto THEN; <false blocks>; goto END; <then blocks> *)
+      let fl = lower_blocks (base + 1) f in
+      let then_start = base + 1 + size_blocks f + 1 in
+      let tl = lower_blocks then_start t in
+      let end_point = then_start + size_blocks t in
+      (Minilang.Ast.If (e, then_start) :: fl) @ (Goto end_point :: tl)
+  | Sloop (i, k, body) ->
+      (* i := 0; <body>; i := i + 1; if (i < k) goto body_start *)
+      let body_start = base + 1 in
+      let bl = lower_blocks body_start body in
+      (Minilang.Ast.Assign (i, Num 0) :: bl)
+      @ [
+          Assign (i, Binop (Add, Var i, Num 1));
+          If (Binop (Lt, Var i, Num k), body_start);
+        ]
+
+and lower_blocks (base : int) (bs : sblock list) : Minilang.Ast.instr list =
+  match bs with
+  | [] -> []
+  | b :: rest -> lower_block base b @ lower_blocks (base + size_block b) rest
+
+let gen_program : Minilang.Ast.program Gen.t =
+  let open Gen in
+  let* n_inputs = int_range 1 2 in
+  let inputs = List.filteri (fun i _ -> i < n_inputs) [ "x"; "y" ] in
+  let* len = int_range 2 7 in
+  let* blocks, defined = gen_blocks ~depth:2 ~defined:inputs len in
+  let body = lower_blocks 2 blocks in
+  let* n_outs = int_range 1 (min 3 (List.length defined)) in
+  let outs = List.filteri (fun i _ -> i < n_outs) defined in
+  let p =
+    Array.of_list ((Minilang.Ast.In inputs :: body) @ [ Minilang.Ast.Out outs ])
+  in
+  return p
+
+let print_program p = "\n" ^ Minilang.Pretty.program_to_string p
+
+let arb_program : Minilang.Ast.program arbitrary =
+  make ~print:print_program gen_program
+
+(** Input stores covering the program's [in] variables with small ints. *)
+let gen_input_for (p : Minilang.Ast.program) : Minilang.Store.t Gen.t =
+  let open Gen in
+  let inputs = Minilang.Ast.input_vars p in
+  let* values = flatten_l (List.map (fun _ -> int_range (-10) 10) inputs) in
+  return (Minilang.Store.of_list (List.combine inputs values))
+
+let arb_program_with_input : (Minilang.Ast.program * Minilang.Store.t) arbitrary =
+  make
+    ~print:(fun (p, s) -> print_program p ^ "input: " ^ Minilang.Store.to_string s)
+    Gen.(gen_program >>= fun p -> gen_input_for p >>= fun s -> return (p, s))
+
+(** A fixed batch of input stores for deterministic cross-checking. *)
+let sample_inputs (p : Minilang.Ast.program) : Minilang.Store.t list =
+  let inputs = Minilang.Ast.input_vars p in
+  List.map
+    (fun seed -> Minilang.Store.of_list (List.mapi (fun i x -> (x, ((seed + i) mod 21) - 10)) inputs))
+    [ 0; 3; 7; 11; 17 ]

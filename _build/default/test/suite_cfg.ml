@@ -1,0 +1,192 @@
+(** Tests for the CFG and dataflow analyses: liveness, reaching definitions,
+    dominance, definedness, available expressions. *)
+
+let parse = Minilang.Parser.parse_program
+
+let sorted = List.sort_uniq String.compare
+
+let check_vars name expected actual =
+  Alcotest.(check (list string)) name (sorted expected) (sorted actual)
+
+(* A diamond with a loop, used by several tests:
+    1: in x
+    2: s := 0
+    3: i := 0
+    4: if (i >= x) goto 8
+    5: s := s + i
+    6: i := i + 1
+    7: goto 4
+    8: out s *)
+let diamond =
+  parse "in x\ns := 0\ni := 0\nif (i >= x) goto 8\ns := s + i\ni := i + 1\ngoto 4\nout s\n"
+
+let test_cfg_edges () =
+  let g = Langcfg.Cfg.build diamond in
+  Alcotest.(check (list int)) "succ 4" [ 5; 8 ] (List.sort compare (Langcfg.Cfg.succs g 4));
+  Alcotest.(check (list int)) "succ 7" [ 4 ] (Langcfg.Cfg.succs g 7);
+  Alcotest.(check (list int)) "succ 8" [] (Langcfg.Cfg.succs g 8);
+  Alcotest.(check (list int)) "pred 4" [ 3; 7 ] (Langcfg.Cfg.preds g 4);
+  Alcotest.(check (list int)) "pred 1" [] (Langcfg.Cfg.preds g 1)
+
+let test_cfg_reachability () =
+  let p = parse "in x\ngoto 4\nx := 99\nout x\n" in
+  let r = Langcfg.Cfg.reachable_from_entry (Langcfg.Cfg.build p) in
+  Alcotest.(check bool) "3 unreachable" false r.(2);
+  Alcotest.(check bool) "4 reachable" true r.(3)
+
+let test_liveness_loop () =
+  let lv = Langcfg.Liveness.analyze (Langcfg.Cfg.build diamond) in
+  check_vars "live at 4" [ "s"; "i"; "x" ] (Langcfg.Liveness.live_at lv 4);
+  check_vars "live at 2" [ "x" ] (Langcfg.Liveness.live_at lv 2);
+  check_vars "live at 8" [ "s" ] (Langcfg.Liveness.live_at lv 8)
+
+let test_liveness_dead_store () =
+  let p = parse "in x\nt := x + 1\nt := x + 2\nout t\n" in
+  let lv = Langcfg.Liveness.analyze (Langcfg.Cfg.build p) in
+  (* t from point 2 is dead: not live at 3 *)
+  Alcotest.(check bool) "t dead at 3" false (Langcfg.Liveness.is_live lv 3 "t");
+  Alcotest.(check bool) "t live at 4" true (Langcfg.Liveness.is_live lv 4 "t")
+
+let test_reaching_defs () =
+  let rd = Langcfg.Reaching_defs.analyze (Langcfg.Cfg.build diamond) in
+  (* At point 4, s may come from point 2 or point 5. *)
+  Alcotest.(check (list int)) "defs of s at 4" [ 2; 5 ]
+    (List.sort compare (Langcfg.Reaching_defs.defs_of rd 4 "s"));
+  Alcotest.(check (option int)) "unique s at 3" (Some 2)
+    (Langcfg.Reaching_defs.unique_def rd ~x:"s" ~lr:3);
+  Alcotest.(check (option int)) "no unique s at 4" None
+    (Langcfg.Reaching_defs.unique_def rd ~x:"s" ~lr:4);
+  Alcotest.(check (option int)) "x from in" (Some 1)
+    (Langcfg.Reaching_defs.unique_def rd ~x:"x" ~lr:8)
+
+let test_dominance () =
+  let dom = Langcfg.Dominance.analyze (Langcfg.Cfg.build diamond) in
+  Alcotest.(check bool) "4 dominates 5" true (Langcfg.Dominance.dominates dom ~dom:4 ~point:5);
+  Alcotest.(check bool) "5 does not dominate 8" false
+    (Langcfg.Dominance.dominates dom ~dom:5 ~point:8);
+  Alcotest.(check (option int)) "idom of 8" (Some 4) (Langcfg.Dominance.idom dom 8);
+  Alcotest.(check (option int)) "idom of entry" None (Langcfg.Dominance.idom dom 1)
+
+let test_dominance_diamond () =
+  let p = parse "in x\nif (x) goto 4\ngoto 5\nskip\nout x\n" in
+  let dom = Langcfg.Dominance.analyze (Langcfg.Cfg.build p) in
+  Alcotest.(check bool) "branch arm does not dominate join" false
+    (Langcfg.Dominance.dominates dom ~dom:4 ~point:5);
+  Alcotest.(check bool) "condition dominates join" true
+    (Langcfg.Dominance.dominates dom ~dom:2 ~point:5)
+
+let test_definedness () =
+  let p = parse "in x\nif (x) goto 4\nt := 1\nif (x) goto 6\nt := 2\nout x\n" in
+  let d = Langcfg.Definedness.analyze (Langcfg.Cfg.build p) in
+  (* t defined at 4 only via point 3; point 4 reachable from 2 directly. *)
+  Alcotest.(check bool) "t not definitely defined at 4" false
+    (Langcfg.Definedness.is_defined_at d 4 "t");
+  Alcotest.(check bool) "x defined everywhere" true (Langcfg.Definedness.is_defined_at d 6 "x")
+
+let test_paper_live_vs_classic () =
+  (* Variable used before any definition: classically live, but not
+     paper-live (never definitely defined). *)
+  let p = parse "in x\nif (x) goto 4\nq := 1\nt := x\nout t\n" in
+  let g = Langcfg.Cfg.build p in
+  let classic = Langcfg.Liveness.analyze g in
+  let paper = Langcfg.Live_vars.analyze g in
+  Alcotest.(check bool) "q not definitely defined at 4" true
+    (not (Langcfg.Live_vars.is_live paper 4 "q"));
+  ignore classic
+
+let test_avail_exprs () =
+  let p = parse "in x\nt := x + 1\nu := t\nx := 0\nout u\n" in
+  let av = Langcfg.Avail_exprs.analyze (Langcfg.Cfg.build p) in
+  (* x+1 available (held by t) at 3 and 4, killed at 5 by x := 0. *)
+  let holders_at l = Langcfg.Avail_exprs.holders_at av l in
+  Alcotest.(check (list string)) "t (x+1) and u (t) available at 4" [ "t"; "u" ] (holders_at 4);
+  (* x := 0 kills x+1 (constituent x) but generates 0-in-x; u := t survives. *)
+  Alcotest.(check (list string)) "x+1 killed at 5" [ "u"; "x" ] (holders_at 5);
+  Alcotest.(check int) "two availabilities left at 5" 2
+    (List.length (Langcfg.Avail_exprs.avail_at av 5))
+
+(* -------------------- properties -------------------- *)
+
+(* Brute-force liveness on short programs: x is live at l iff some execution
+   suffix from l reads x before writing it.  We approximate by enumerating
+   CFG paths up to a bounded depth, which is exact for the bound used. *)
+let brute_force_live (p : Minilang.Ast.program) (l : int) (x : string) : bool =
+  let g = Langcfg.Cfg.build p in
+  let rec explore l depth visited =
+    if depth = 0 then false
+    else
+      let i = Minilang.Ast.instr_at p l in
+      if List.mem x (Minilang.Ast.uses_of_instr i) then true
+      else if List.mem x (Minilang.Ast.defs_of_instr i) then false
+      else
+        List.exists
+          (fun m -> if List.mem (l, m) visited then false else explore m depth ((l, m) :: visited))
+          (Langcfg.Cfg.succs g l)
+  in
+  explore l 64 []
+
+let prop_liveness_vs_bruteforce =
+  QCheck.Test.make ~count:100 ~name:"dataflow liveness = path-based liveness"
+    Gen.arb_program (fun p ->
+      let lv = Langcfg.Liveness.analyze (Langcfg.Cfg.build p) in
+      let vars = Minilang.Ast.all_vars p in
+      let n = Minilang.Ast.length p in
+      List.for_all
+        (fun l ->
+          List.for_all
+            (fun x -> Langcfg.Liveness.is_live lv l x = brute_force_live p l x)
+            vars)
+        (List.init n (fun i -> i + 1)))
+
+(* Live variables really do determine the future: two stores agreeing on
+   live(p, l) yield the same result from l (Theorem 3.2 backbone, checked
+   again at the OSR layer). *)
+let prop_reaching_def_sound =
+  QCheck.Test.make ~count:100 ~name:"unique reaching def implies def executed last"
+    Gen.arb_program_with_input (fun (p, sigma) ->
+      let rd = Langcfg.Reaching_defs.analyze (Langcfg.Cfg.build p) in
+      let states = Minilang.Semantics.trace ~fuel:2000 p sigma in
+      (* Track the last dynamic definition point of each variable and compare
+         with the static unique reaching definition, when one exists. *)
+      let last_def = Hashtbl.create 8 in
+      List.for_all
+        (fun (s : Minilang.Semantics.state) ->
+          if s.point > Minilang.Ast.length p then true
+          else begin
+            let ok =
+              List.for_all
+                (fun (x, ld) ->
+                  match Hashtbl.find_opt last_def x with
+                  | Some dyn -> dyn = ld
+                  | None -> false)
+                (List.filter_map
+                   (fun x ->
+                     Option.map (fun ld -> (x, ld))
+                       (Langcfg.Reaching_defs.unique_def rd ~x ~lr:s.point))
+                   (Hashtbl.fold (fun k _ acc -> k :: acc) last_def []))
+            in
+            List.iter
+              (fun x -> Hashtbl.replace last_def x s.point)
+              (Minilang.Ast.defs_of_instr (Minilang.Ast.instr_at p s.point));
+            ok
+          end)
+        states)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let q test = QCheck_alcotest.to_alcotest test in
+  ( "cfg",
+    [
+      t "cfg edges" test_cfg_edges;
+      t "cfg reachability" test_cfg_reachability;
+      t "liveness in loop" test_liveness_loop;
+      t "liveness dead store" test_liveness_dead_store;
+      t "reaching definitions" test_reaching_defs;
+      t "dominance in loop" test_dominance;
+      t "dominance diamond" test_dominance_diamond;
+      t "definite definedness" test_definedness;
+      t "paper live vs classic" test_paper_live_vs_classic;
+      t "available expressions" test_avail_exprs;
+      q prop_liveness_vs_bruteforce;
+      q prop_reaching_def_sound;
+    ] )

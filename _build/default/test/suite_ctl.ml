@@ -1,0 +1,217 @@
+(** Tests for the CTL model checker: local predicates, temporal operators,
+    the Figure 3 [lives] predicate against dataflow, and the [ud] predicate
+    of Algorithm 1 against reaching definitions. *)
+
+open Ctl
+
+let parse = Minilang.Parser.parse_program
+
+let holds p f l = Checker.holds_program p f l
+
+let diamond =
+  parse "in x\ns := 0\ni := 0\nif (i >= x) goto 8\ns := s + i\ni := i + 1\ngoto 4\nout s\n"
+
+let vlit x = Patterns.Vlit x
+
+let test_def_use () =
+  Alcotest.(check bool) "def s at 2" true (holds diamond (Formula.def (vlit "s")) 2);
+  Alcotest.(check bool) "no def s at 4" false (holds diamond (Formula.def (vlit "s")) 4);
+  Alcotest.(check bool) "use i at 4" true (holds diamond (Formula.use (vlit "i")) 4);
+  Alcotest.(check bool) "in defines x" true (holds diamond (Formula.def (vlit "x")) 1);
+  Alcotest.(check bool) "out uses s" true (holds diamond (Formula.use (vlit "s")) 8)
+
+let test_point_stmt () =
+  Alcotest.(check bool) "point 3" true (holds diamond (Formula.point (Llit 3)) 3);
+  Alcotest.(check bool) "not point 3" false (holds diamond (Formula.point (Llit 3)) 4);
+  let pat = Patterns.Passign (Vlit "i", Pnum (Nlit 0)) in
+  Alcotest.(check bool) "stmt i := 0 at 3" true (holds diamond (Formula.stmt pat) 3);
+  Alcotest.(check bool) "stmt i := 0 not at 2" false (holds diamond (Formula.stmt pat) 2)
+
+let test_temporal_forward () =
+  (* →E(true U use(s)): s eventually used on some path. *)
+  let eventually_use_s = Formula.eu_fwd True (Formula.use (vlit "s")) in
+  Alcotest.(check bool) "s used eventually from 2" true (holds diamond eventually_use_s 2);
+  (* →AX at point 4: successors are 5 and 8 *)
+  let succ_is_5_or_8 = Formula.(Or (point (Llit 5), point (Llit 8))) in
+  Alcotest.(check bool) "AX successors of 4" true (holds diamond (Formula.ax_fwd succ_is_5_or_8) 4);
+  (* EX *)
+  Alcotest.(check bool) "EX point 8 from 4" true
+    (holds diamond (Formula.ex_fwd (Formula.point (Llit 8))) 4);
+  Alcotest.(check bool) "no EX point 8 from 2" false
+    (holds diamond (Formula.ex_fwd (Formula.point (Llit 8))) 2)
+
+let test_temporal_backward () =
+  (* ←E(true U point(1)): entry reachable backwards — true everywhere
+     reachable. *)
+  let from_entry = Formula.eu_bwd True (Formula.point (Llit 1)) in
+  Alcotest.(check bool) "8 backward-reaches entry" true (holds diamond from_entry 8);
+  (* ←AX point(4) at 5: the only predecessor of 5 is 4. *)
+  Alcotest.(check bool) "pred of 5 is 4" true
+    (holds diamond (Formula.ax_bwd (Formula.point (Llit 4))) 5)
+
+let test_au_maximal_paths () =
+  (* A(true U point(8)) from 4: the analyses quantify over finite maximal
+     CFG paths (Section 2.2), and every finite maximal path from 4 ends at
+     the out instruction 8, so AU holds despite the loop. *)
+  let au = Formula.au_fwd True (Formula.point (Llit 8)) in
+  Alcotest.(check bool) "AU over finite maximal paths" true (holds diamond au 4);
+  (* By contrast, paths into the abort at 3 never reach 5. *)
+  let p2 = parse "in x\nif (x) goto 4\nabort\nskip\nout x\n" in
+  Alcotest.(check bool) "AU fails via abort path" false
+    (holds p2 (Formula.au_fwd True (Formula.point (Llit 5))) 2);
+  (* From a straight-line program, AU to the final point holds. *)
+  let p = parse "in x\nt := x\nout t\n" in
+  Alcotest.(check bool) "AU on straight line" true
+    (holds p (Formula.au_fwd True (Formula.point (Llit 3))) 1)
+
+let test_lives_predicate () =
+  (* lives(s) at 4: defined at 2 or 5 on all backward paths, used at 5/8. *)
+  Alcotest.(check bool) "s lives at 4" true (holds diamond (Formula.lives (vlit "s")) 4);
+  (* x dead after the loop exit condition is last evaluated?  x used at 4
+     only; at 5 x still lives (loop back to 4). *)
+  Alcotest.(check bool) "x lives at 5" true (holds diamond (Formula.lives (vlit "x")) 5);
+  Alcotest.(check bool) "x dead at 8" false (holds diamond (Formula.lives (vlit "x")) 8)
+
+let test_trans_predicate () =
+  let p = parse "in x\nt := x + 1\nx := 0\nout t\n" in
+  let env = Checker.make_env p in
+  let s =
+    match Patterns.bind Patterns.empty_subst "e" (Bexpr (Binop (Add, Var "x", Num 1))) with
+    | Some s -> s
+    | None -> assert false
+  in
+  (* x := 0 modifies a constituent of x+1; t := x+1 does not (t ∉ e). *)
+  Alcotest.(check bool) "trans at 2" true (Checker.holds env s (Formula.trans "e") 2);
+  Alcotest.(check bool) "not trans at 3" false (Checker.holds env s (Formula.trans "e") 3)
+
+let test_conlit_freevar_pure () =
+  let env = Checker.make_env diamond in
+  let s e = Option.get (Patterns.bind Patterns.empty_subst "e" e) in
+  Alcotest.(check bool) "conlit 5" true (Checker.holds env (s (Bnum 5)) (Formula.conlit "e") 1);
+  Alcotest.(check bool) "conlit x+1" false
+    (Checker.holds env (s (Bexpr (Binop (Add, Var "x", Num 1)))) (Formula.conlit "e") 1);
+  Alcotest.(check bool) "freevar x (x+1)" true
+    (Checker.holds env
+       (Option.get
+          (Patterns.bind (s (Bexpr (Binop (Add, Var "x", Num 1)))) "v" (Bvar "x")))
+       (Formula.freevar (Vmeta "v") "e") 1);
+  Alcotest.(check bool) "pure x+1" true
+    (Checker.holds env (s (Bexpr (Binop (Add, Var "x", Num 1)))) (Formula.pure "e") 1);
+  Alcotest.(check bool) "x/y impure" false
+    (Checker.holds env (s (Bexpr (Binop (Div, Var "x", Var "y")))) (Formula.pure "e") 1)
+
+let test_solve_finds_constant () =
+  (* In "t := 5; u := t + 1", solve ←A(¬def(t) U stmt(t := c)) at point 3
+     should bind c ↦ 5. *)
+  let p = parse "in x\nt := 5\nu := t + 1\nout u\n" in
+  let env = Checker.make_env p in
+  let f = Formula.au_bwd (Formula.neg (Formula.def (vlit "t")))
+      (Formula.stmt (Passign (Vlit "t", Pexpr "c")))
+  in
+  let sols = Checker.solve env Patterns.empty_subst f 3 in
+  let has_5 =
+    List.exists
+      (fun s ->
+        match Patterns.lookup s "c" with
+        | Some (Bnum 5) | Some (Bexpr (Num 5)) -> true
+        | _ -> false)
+      sols
+  in
+  Alcotest.(check bool) "c ↦ 5 found" true has_5
+
+(* -------------------- properties -------------------- *)
+
+let points p = List.init (Minilang.Ast.length p) (fun i -> i + 1)
+
+let prop_lives_equals_dataflow =
+  QCheck.Test.make ~count:60 ~name:"CTL lives(x) = dataflow live ∩ defined"
+    Gen.arb_program (fun p ->
+      let env = Checker.make_env p in
+      let lv = Langcfg.Live_vars.analyze (Langcfg.Cfg.build p) in
+      List.for_all
+        (fun l ->
+          List.for_all
+            (fun x ->
+              Checker.holds env Patterns.empty_subst (Formula.lives (vlit x)) l
+              = Langcfg.Live_vars.is_live lv l x)
+            (Minilang.Ast.all_vars p))
+        (points p))
+
+let prop_ud_equals_dataflow =
+  QCheck.Test.make ~count:40 ~name:"CTL ud = unique reaching def + definedness"
+    Gen.arb_program (fun p ->
+      let env = Checker.make_env p in
+      let g = Langcfg.Cfg.build p in
+      let rd = Langcfg.Reaching_defs.analyze g in
+      let dfd = Langcfg.Definedness.analyze g in
+      let reach = Langcfg.Cfg.reachable_from_entry g in
+      (* Skip the entry (←AX is vacuously true there, a formalization quirk
+         that Algorithm 1 never exercises: nothing is paper-live at point 1)
+         and points with unreachable predecessors. *)
+      List.for_all
+        (fun lr ->
+          lr = 1
+          || (not reach.(lr - 1))
+          || List.exists (fun q -> not reach.(q - 1)) (Langcfg.Cfg.preds g lr)
+          || List.for_all
+               (fun x ->
+                 let dataflow =
+                   if Langcfg.Definedness.is_defined_at dfd lr x then
+                     Langcfg.Reaching_defs.unique_def rd ~x ~lr
+                   else None
+                 in
+                 List.for_all
+                   (fun ld ->
+                     Checker.holds env Patterns.empty_subst
+                       (Formula.ud (vlit x) (Llit ld)) lr
+                     = (dataflow = Some ld))
+                   (points p))
+               (Minilang.Ast.all_vars p))
+        (points p))
+
+let prop_ax_ex_duality =
+  QCheck.Test.make ~count:60 ~name:"AX φ = ¬EX ¬φ on non-leaf points" Gen.arb_program
+    (fun p ->
+      let env = Checker.make_env p in
+      let g = Langcfg.Cfg.build p in
+      let f = Formula.def (vlit "t") in
+      List.for_all
+        (fun l ->
+          Langcfg.Cfg.succs g l = []
+          || Checker.holds env Patterns.empty_subst (Formula.ax_fwd f) l
+             = not (Checker.holds env Patterns.empty_subst (Formula.ex_fwd (Formula.neg f)) l))
+        (points p))
+
+let prop_eu_implies_au_converse =
+  QCheck.Test.make ~count:60 ~name:"A(φ U ψ) implies E(φ U ψ) where successors exist"
+    Gen.arb_program (fun p ->
+      let env = Checker.make_env p in
+      let g = Langcfg.Cfg.build p in
+      let phi = Formula.neg (Formula.def (vlit "t")) in
+      let psi = Formula.use (vlit "t") in
+      List.for_all
+        (fun l ->
+          let au = Checker.holds env Patterns.empty_subst (Formula.au_fwd phi psi) l in
+          let eu = Checker.holds env Patterns.empty_subst (Formula.eu_fwd phi psi) l in
+          (not au) || eu || Langcfg.Cfg.succs g l = [])
+        (points p))
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let q test = QCheck_alcotest.to_alcotest test in
+  ( "ctl",
+    [
+      t "def/use atoms" test_def_use;
+      t "point/stmt atoms" test_point_stmt;
+      t "forward temporal" test_temporal_forward;
+      t "backward temporal" test_temporal_backward;
+      t "AU on maximal paths" test_au_maximal_paths;
+      t "lives predicate" test_lives_predicate;
+      t "trans predicate" test_trans_predicate;
+      t "conlit/freevar/pure" test_conlit_freevar_pure;
+      t "solve binds constants" test_solve_finds_constant;
+      q prop_lives_equals_dataflow;
+      q prop_ud_equals_dataflow;
+      q prop_ax_ex_duality;
+      q prop_eu_implies_au_converse;
+    ] )

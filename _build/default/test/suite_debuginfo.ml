@@ -1,0 +1,214 @@
+(** Tests for the Section 7 machinery: source-variable tracking, the
+    endangered-variable analysis, and — most importantly — a dynamic oracle
+    checking that every value the analysis claims recoverable really is
+    recovered correctly at a live breakpoint. *)
+
+module Ir = Miniir.Ir
+module P = Passes.Pass_manager
+module Interp = Tinyvm.Interp
+module Ctx = Osrir.Osr_ctx
+module R = Osrir.Reconstruct_ir
+module E = Debuginfo.Endangered
+module SV = Debuginfo.Source_vars
+
+(* A small kernel with clear variable structure. *)
+let kernel : Corpus.Dsl.kernel =
+  let open Corpus.Dsl in
+  {
+    kname = "dbg_demo";
+    params = [ "x"; "y" ];
+    arrays = [];
+    locals = [ "total"; "step" ];
+    body =
+      [
+        Set ("step", Bin (Miniir.Ir.Mul, Param "y", Const 3));
+        Set ("total", Const 0);
+        For
+          {
+            i = "i";
+            below = Param "x";
+            body = [ Set ("total", Bin (Miniir.Ir.Add, Slot "total", Slot "step")) ];
+          };
+      ];
+    ret = Slot "total";
+  }
+
+let test_families () =
+  let fbase, dbg = Corpus.Dsl.to_fbase kernel in
+  let sv = SV.analyze fbase ~user_vars:dbg.user_vars in
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) (u ^ " has a family") true (SV.family_of fbase u <> []))
+    [ "total"; "step"; "i" ];
+  (* At the return, total must be tracked. *)
+  let ret_point = (List.hd (List.rev fbase.Ir.blocks)).Ir.term_id in
+  match SV.value_at sv "total" ~point:ret_point with
+  | Some carrier ->
+      Alcotest.(check bool) "total carried by its family" true
+        (List.mem carrier (SV.family_of fbase "total"))
+  | None -> Alcotest.fail "total untracked at return"
+
+let test_tracked_progression () =
+  let fbase, dbg = Corpus.Dsl.to_fbase kernel in
+  let sv = SV.analyze fbase ~user_vars:dbg.user_vars in
+  (* Early in the function fewer variables are tracked than at the end. *)
+  let first = List.hd dbg.source_points in
+  let last = List.hd (List.rev dbg.source_points) in
+  let n_at p = List.length (SV.tracked_at sv ~point:p) in
+  Alcotest.(check bool) "tracking grows" true (n_at first <= n_at last)
+
+let test_analysis_shape () =
+  let fbase, dbg = Corpus.Dsl.to_fbase kernel in
+  let r = P.apply fbase in
+  let rep =
+    E.analyze_function ~fbase:r.fbase ~fopt:r.fopt ~mapper:r.mapper ~user_vars:dbg.user_vars
+      ~source_points:dbg.source_points
+  in
+  Alcotest.(check bool) "some points analyzed" true (rep.points <> []);
+  List.iter
+    (fun (p : E.point_report) ->
+      List.iter
+        (fun (v : E.var_status) ->
+          (* recoverable_live implies recoverable_avail; non-endangered is
+             always both. *)
+          if v.recoverable_live && not v.recoverable_avail then
+            Alcotest.failf "%s: live-recoverable but not avail-recoverable" v.var;
+          if (not v.endangered) && not v.recoverable_live then
+            Alcotest.failf "%s: directly reported but not recoverable" v.var)
+        p.vars)
+    rep.points
+
+(* The dynamic oracle: stop fbase and fopt at corresponding breakpoints
+   (same first dynamic arrival), evaluate every avail recovery plan against
+   the live fopt frame, and compare with the carrier's value in the fbase
+   frame. *)
+let check_recovery_dynamically (kernel : Corpus.Dsl.kernel) (args : int list) =
+  let fbase, dbg = Corpus.Dsl.to_fbase kernel in
+  let r = P.apply fbase in
+  let rep =
+    E.analyze_function ~fbase:r.fbase ~fopt:r.fopt ~mapper:r.mapper ~user_vars:dbg.user_vars
+      ~source_points:dbg.source_points
+  in
+  let bwd = Ctx.make ~fbase:r.fbase ~fopt:r.fopt ~mapper:r.mapper Ctx.Opt_to_base in
+  let checked = ref 0 in
+  List.iter
+    (fun (p : E.point_report) ->
+      let opt_machine = Interp.create r.fopt ~args in
+      let base_machine = Interp.create r.fbase ~args in
+      match
+        ( Interp.run_to_point ~fuel:5_000_000 opt_machine ~point:p.opt_point,
+          Interp.run_to_point ~fuel:5_000_000 base_machine ~point:p.base_point )
+      with
+      | Some om, Some bm ->
+          List.iter
+            (fun (v : E.var_status) ->
+              if v.endangered && v.recoverable_avail then
+                match
+                  E.recovery_plan bwd R.Avail ~opt_point:p.opt_point ~base_point:p.base_point
+                    v.carrier
+                with
+                | None -> Alcotest.failf "%s claimed recoverable but plan fails" v.var
+                | Some plan -> (
+                    match R.eval_plan plan ~src_frame:om.frame ~memory:om.memory with
+                    | Error reg -> Alcotest.failf "plan for %s stuck on %%%s" v.var reg
+                    | Ok env -> (
+                        match
+                          (Hashtbl.find_opt env v.carrier, Hashtbl.find_opt bm.frame v.carrier)
+                        with
+                        | Some got, Some want ->
+                            incr checked;
+                            if got <> want then
+                              Alcotest.failf
+                                "recovered %s (carrier %s) = %d but reference has %d at point %d"
+                                v.var v.carrier got want p.base_point
+                        | _, None -> ()  (* carrier never executed on this input *)
+                        | None, _ -> Alcotest.failf "plan did not bind %s" v.carrier)))
+            p.vars
+      | _, _ -> ()  (* breakpoint not reached on this input *))
+    rep.points;
+  !checked
+
+let test_recovery_dynamic_demo () =
+  let n = check_recovery_dynamically kernel [ 5; 4 ] in
+  Alcotest.(check bool) "checked some recoveries" true (n > 0)
+
+let test_recovery_dynamic_kernels () =
+  List.iter
+    (fun name ->
+      let e = Option.get (Corpus.Kernels.find name) in
+      ignore (check_recovery_dynamically e.kernel e.default_args : int))
+    [ "fhourstones"; "soplex"; "dcraw" ]
+
+(* Regression for the loop-escape re-execution bug: a value computed inside
+   a loop from the induction variable, dead in the optimized code after the
+   loop, must NOT be "recovered" by re-executing its definition with the
+   post-loop induction value. *)
+let test_no_loop_escape_reexecution () =
+  let open Corpus.Dsl in
+  let k =
+    {
+      kname = "loop_escape";
+      params = [ "n"; "y" ];
+      arrays = [];
+      locals = [ "probe"; "acc" ];
+      body =
+        [
+          Set ("acc", Const 0);
+          For
+            {
+              i = "i";
+              below = Param "n";
+              body =
+                [
+                  (* probe depends on the induction variable; acc keeps it
+                     live in fbase, but fopt can fold the chain so probe's
+                     carrier dies. *)
+                  Set ("probe", Bin (Miniir.Ir.Mul, Slot "i", Const 10));
+                  Set ("acc", Bin (Miniir.Ir.Add, Slot "acc", Slot "probe"));
+                ];
+            };
+        ];
+      ret = Slot "acc";
+    }
+  in
+  let n = check_recovery_dynamically k [ 6; 2 ] in
+  (* The oracle itself is the assertion: any unsound recovery fails above. *)
+  Alcotest.(check bool) "oracle ran" true (n >= 0)
+
+let test_study_aggregates () =
+  let prof = Option.get (Corpus.Spec_c.find "sjeng") in
+  let reports =
+    List.map
+      (fun (sf : Corpus.Spec_c.study_func) ->
+        let r = P.apply sf.fbase in
+        E.analyze_function ~fbase:r.fbase ~fopt:r.fopt ~mapper:r.mapper
+          ~user_vars:sf.dbg.user_vars ~source_points:sf.dbg.source_points)
+      (Corpus.Spec_c.functions_of prof)
+  in
+  List.iter
+    (fun rep ->
+      let f = E.affected_fraction rep in
+      Alcotest.(check bool) "fraction in [0,1]" true (f >= 0.0 && f <= 1.0);
+      (match E.recoverability rep `Avail with
+      | Some x -> Alcotest.(check bool) "ratio in [0,1]" true (x >= 0.0 && x <= 1.0)
+      | None -> ());
+      (* live recoverability never exceeds avail recoverability *)
+      match (E.recoverability rep `Live, E.recoverability rep `Avail) with
+      | Some l, Some a ->
+          Alcotest.(check bool) "live <= avail" true (l <= a +. 1e-9)
+      | _ -> ())
+    reports
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let s name f = Alcotest.test_case name `Slow f in
+  ( "debuginfo",
+    [
+      t "variable families" test_families;
+      t "tracking progression" test_tracked_progression;
+      t "analysis shape invariants" test_analysis_shape;
+      t "dynamic recovery oracle (demo kernel)" test_recovery_dynamic_demo;
+      s "dynamic recovery oracle (corpus kernels)" test_recovery_dynamic_kernels;
+      t "no loop-escape re-execution" test_no_loop_escape_reexecution;
+      s "study aggregates" test_study_aggregates;
+    ] )

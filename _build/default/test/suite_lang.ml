@@ -1,0 +1,217 @@
+(** Tests for the language layer: syntax, parsing, stores, semantics,
+    composition (Sections 2.1 and 3.2). *)
+
+let parse = Minilang.Parser.parse_program
+
+let check_outcome = Alcotest.testable Minilang.Semantics.pp_outcome Minilang.Semantics.equal_outcome
+
+let run_src ?(input = []) src =
+  Minilang.Semantics.run (parse src) (Minilang.Store.of_list input)
+
+let terminated bindings = Minilang.Semantics.Terminated (Minilang.Store.of_list bindings)
+
+(* -------------------- parsing -------------------- *)
+
+let test_parse_simple () =
+  let p = parse "in x\n t := x + 1\n out t\n" in
+  Alcotest.(check int) "length" 3 (Minilang.Ast.length p);
+  match Minilang.Ast.instr_at p 2 with
+  | Assign ("t", Binop (Add, Var "x", Num 1)) -> ()
+  | i -> Alcotest.failf "unexpected instruction %s" (Minilang.Pretty.instr_to_string i)
+
+let test_parse_control () =
+  let p = parse "in x\nif (x > 0) goto 4\nx := 0 - x\nskip\nout x\n" in
+  (match Minilang.Ast.instr_at p 2 with
+  | If (Binop (Gt, Var "x", Num 0), 4) -> ()
+  | i -> Alcotest.failf "bad if: %s" (Minilang.Pretty.instr_to_string i));
+  Alcotest.(check bool) "valid" true (Minilang.Ast.is_valid p)
+
+let test_parse_comments () =
+  let p = parse "# header comment\nin x\n// mid comment\nt := 2 * x  # trailing\nout t\n" in
+  Alcotest.(check int) "length" 3 (Minilang.Ast.length p)
+
+let test_parse_precedence () =
+  let e = Minilang.Parser.parse_expression "1 + 2 * 3 == 7 && 1 < 2" in
+  match e with
+  | Binop (And, Binop (Eq, Binop (Add, Num 1, Binop (Mul, Num 2, Num 3)), Num 7), Binop (Lt, Num 1, Num 2))
+    -> ()
+  | _ -> Alcotest.failf "precedence wrong: %s" (Minilang.Pretty.expr_to_string e)
+
+let test_parse_rejects_bad_structure () =
+  let expect_fail src =
+    match parse src with
+    | _ -> Alcotest.failf "expected parse failure for %S" src
+    | exception Minilang.Parser.Parse_error _ -> ()
+  in
+  expect_fail "t := 1\nout t\n";  (* no in *)
+  expect_fail "in x\nt := 1\n";  (* no out *)
+  expect_fail "in x\ngoto 99\nout x\n";  (* jump out of range *)
+  expect_fail "in x\nin y\nout x\n"  (* in not only at start *)
+
+let test_parse_rejects_garbage () =
+  (match parse "in x\nt := ?\nout t\n" with
+  | _ -> Alcotest.fail "expected lex failure"
+  | exception Minilang.Lexer.Lex_error _ -> ());
+  match parse "in x\nt + 1\nout t\n" with
+  | _ -> Alcotest.fail "expected parse failure"
+  | exception Minilang.Parser.Parse_error _ -> ()
+
+(* -------------------- semantics -------------------- *)
+
+let test_run_straightline () =
+  Alcotest.check check_outcome "result"
+    (terminated [ ("t", 7) ])
+    (run_src ~input:[ ("x", 3) ] "in x\nt := 2 * x + 1\nout t\n")
+
+let test_run_branch () =
+  let src = "in x\nif (x < 0) goto 4\ngoto 5\nx := -x\nout x\n" in
+  Alcotest.check check_outcome "neg" (terminated [ ("x", 5) ]) (run_src ~input:[ ("x", -5) ] src);
+  Alcotest.check check_outcome "pos" (terminated [ ("x", 5) ]) (run_src ~input:[ ("x", 5) ] src)
+
+let test_run_loop () =
+  (* sum of 1..x *)
+  let src =
+    "in x\n\
+     s := 0\n\
+     i := 0\n\
+     i := i + 1\n\
+     s := s + i\n\
+     if (i < x) goto 4\n\
+     out s\n"
+  in
+  Alcotest.check check_outcome "sum 1..5" (terminated [ ("s", 15) ]) (run_src ~input:[ ("x", 5) ] src)
+
+let test_run_abort () =
+  match run_src ~input:[ ("x", 1) ] "in x\nabort\nout x\n" with
+  | Stuck_at (Aborted 2) -> ()
+  | o -> Alcotest.failf "expected abort, got %a" Minilang.Semantics.pp_outcome o
+
+let test_run_undefined_var () =
+  match run_src ~input:[ ("x", 1) ] "in x\nt := q + 1\nout t\n" with
+  | Stuck_at (Undefined_variable ("q", 2)) -> ()
+  | o -> Alcotest.failf "expected undefined q, got %a" Minilang.Semantics.pp_outcome o
+
+let test_run_division () =
+  Alcotest.check check_outcome "10/3" (terminated [ ("t", 3) ])
+    (run_src ~input:[ ("x", 3) ] "in x\nt := 10 / x\nout t\n");
+  match run_src ~input:[ ("x", 0) ] "in x\nt := 10 / x\nout t\n" with
+  | Stuck_at (Division_by_zero 2) -> ()
+  | o -> Alcotest.failf "expected div0, got %a" Minilang.Semantics.pp_outcome o
+
+let test_run_in_check () =
+  match run_src ~input:[] "in x\nout x\n" with
+  | Stuck_at (In_check_failed ("x", 1)) -> ()
+  | o -> Alcotest.failf "expected in-check failure, got %a" Minilang.Semantics.pp_outcome o
+
+let test_out_restricts () =
+  (* out only exposes the listed variables (rule 7 of Figure 2) *)
+  match run_src ~input:[ ("x", 2) ] "in x\nt := x + 1\nu := 0\nout t\n" with
+  | Terminated s ->
+      Alcotest.(check (option int)) "t" (Some 3) (Minilang.Store.get s "t");
+      Alcotest.(check (option int)) "u erased" None (Minilang.Store.get s "u");
+      Alcotest.(check (option int)) "x erased" None (Minilang.Store.get s "x")
+  | o -> Alcotest.failf "expected termination, got %a" Minilang.Semantics.pp_outcome o
+
+let test_infinite_loop_fuel () =
+  match
+    Minilang.Semantics.run ~fuel:100 (parse "in x\ngoto 2\nout x\n")
+      (Minilang.Store.of_list [ ("x", 0) ])
+  with
+  | Out_of_fuel _ -> ()
+  | o -> Alcotest.failf "expected fuel exhaustion, got %a" Minilang.Semantics.pp_outcome o
+
+let test_trace_points () =
+  let p = parse "in x\nt := x\nout t\n" in
+  let tr = Minilang.Semantics.trace p (Minilang.Store.of_list [ ("x", 1) ]) in
+  Alcotest.(check (list int)) "points" [ 1; 2; 3; 4 ]
+    (List.map (fun (s : Minilang.Semantics.state) -> s.point) tr)
+
+(* -------------------- stores -------------------- *)
+
+let test_store_restrict () =
+  let s = Minilang.Store.of_list [ ("a", 1); ("b", 2); ("c", 3) ] in
+  let r = Minilang.Store.restrict s [ "a"; "c"; "zz" ] in
+  Alcotest.(check (option int)) "a kept" (Some 1) (Minilang.Store.get r "a");
+  Alcotest.(check (option int)) "b dropped" None (Minilang.Store.get r "b");
+  Alcotest.(check bool) "agree on a,c" true (Minilang.Store.agree_on [ "a"; "c" ] s r)
+
+(* -------------------- composition (Definition 3.3) -------------------- *)
+
+let test_compose_semantics () =
+  let p = parse "in x\nt := x + 1\nout t\n" in
+  let q = parse "in t\nu := t * 2\nout u\n" in
+  Alcotest.(check bool) "composable" true (Minilang.Compose.composable p q);
+  let pq = Minilang.Compose.compose p q in
+  Alcotest.(check bool) "valid" true (Minilang.Ast.is_valid pq);
+  (* [[p ∘ q]] = [[q]] ∘ [[p]]: (3+1)*2 = 8 *)
+  Alcotest.check check_outcome "composed result" (terminated [ ("u", 8) ])
+    (Minilang.Semantics.run pq (Minilang.Store.of_list [ ("x", 3) ]))
+
+let test_compose_relocates_gotos () =
+  let p = parse "in x\nt := x\nout t\n" in
+  let q = parse "in t\nif (t > 0) goto 4\nt := 0 - t\nout t\n" in
+  let pq = Minilang.Compose.compose p q in
+  Alcotest.(check bool) "valid after relocation" true (Minilang.Ast.is_valid pq);
+  Alcotest.check check_outcome "neg input" (terminated [ ("t", 4) ])
+    (Minilang.Semantics.run pq (Minilang.Store.of_list [ ("x", -4) ]));
+  Alcotest.check check_outcome "pos input" (terminated [ ("t", 4) ])
+    (Minilang.Semantics.run pq (Minilang.Store.of_list [ ("x", 4) ]))
+
+let test_compose_rejects_mismatch () =
+  let p = parse "in x\nt := x\nout t\n" in
+  let q = parse "in zz\nout zz\n" in
+  Alcotest.(check bool) "not composable" false (Minilang.Compose.composable p q)
+
+(* -------------------- properties -------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"parse(pretty(p)) = p" Gen.arb_program (fun p ->
+      Minilang.Ast.equal_program p (parse (Minilang.Pretty.program_to_source p)))
+
+let prop_generated_valid =
+  QCheck.Test.make ~count:200 ~name:"generated programs are valid" Gen.arb_program
+    Minilang.Ast.is_valid
+
+let prop_generated_terminate =
+  QCheck.Test.make ~count:200 ~name:"generated programs terminate" Gen.arb_program_with_input
+    (fun (p, sigma) ->
+      match Minilang.Semantics.run ~fuel:50_000 p sigma with
+      | Terminated _ -> true
+      | Stuck_at _ | Out_of_fuel _ -> false)
+
+let prop_determinism =
+  QCheck.Test.make ~count:100 ~name:"semantics is deterministic" Gen.arb_program_with_input
+    (fun (p, sigma) ->
+      Minilang.Semantics.equal_outcome (Minilang.Semantics.run p sigma)
+        (Minilang.Semantics.run p sigma))
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let q test = QCheck_alcotest.to_alcotest test in
+  ( "lang",
+    [
+      t "parse simple" test_parse_simple;
+      t "parse control" test_parse_control;
+      t "parse comments" test_parse_comments;
+      t "parse precedence" test_parse_precedence;
+      t "parse rejects bad structure" test_parse_rejects_bad_structure;
+      t "parse rejects garbage" test_parse_rejects_garbage;
+      t "run straight line" test_run_straightline;
+      t "run branch" test_run_branch;
+      t "run loop" test_run_loop;
+      t "run abort" test_run_abort;
+      t "run undefined var" test_run_undefined_var;
+      t "run division" test_run_division;
+      t "run in-check" test_run_in_check;
+      t "out restricts store" test_out_restricts;
+      t "infinite loop hits fuel" test_infinite_loop_fuel;
+      t "trace records points" test_trace_points;
+      t "store restrict" test_store_restrict;
+      t "compose semantics" test_compose_semantics;
+      t "compose relocates gotos" test_compose_relocates_gotos;
+      t "compose rejects mismatch" test_compose_rejects_mismatch;
+      q prop_roundtrip;
+      q prop_generated_valid;
+      q prop_generated_terminate;
+      q prop_determinism;
+    ] )

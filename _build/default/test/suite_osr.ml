@@ -1,0 +1,281 @@
+(** Tests for the OSR core: mappings, compensation code, Theorem 3.2,
+    mapping composition (Theorem 3.4), Algorithm 1 and OSR_trans
+    (Theorem 4.6), in both the live and avail variants. *)
+
+let parse = Minilang.Parser.parse_program
+
+(* -------------------- compensation code -------------------- *)
+
+let test_comp_code_eval () =
+  let c : Osr.Comp_code.t = [ ("t", Binop (Add, Var "x", Num 1)); ("u", Binop (Mul, Var "t", Num 2)) ] in
+  let sigma = Osr.Comp_code.eval c (Minilang.Store.of_list [ ("x", 3) ]) in
+  Alcotest.(check (option int)) "t" (Some 4) (Minilang.Store.get sigma "t");
+  Alcotest.(check (option int)) "u chained" (Some 8) (Minilang.Store.get sigma "u")
+
+let test_comp_code_io () =
+  let c : Osr.Comp_code.t = [ ("t", Binop (Add, Var "x", Num 1)); ("u", Var "t") ] in
+  Alcotest.(check (list string)) "inputs" [ "x" ] (Osr.Comp_code.inputs c);
+  Alcotest.(check (list string)) "outputs" [ "t"; "u" ] (Osr.Comp_code.outputs c);
+  Alcotest.(check int) "size" 2 (Osr.Comp_code.size c)
+
+let test_comp_code_as_program () =
+  let c : Osr.Comp_code.t = [ ("t", Binop (Add, Var "x", Num 1)) ] in
+  let p = Osr.Comp_code.to_program ~carry:[ "x" ] c in
+  Alcotest.(check bool) "valid program" true (Minilang.Ast.is_valid p);
+  match Minilang.Semantics.run p (Minilang.Store.of_list [ ("x", 5) ]) with
+  | Terminated s -> Alcotest.(check (option int)) "t" (Some 6) (Minilang.Store.get s "t")
+  | o -> Alcotest.failf "unexpected outcome %a" Minilang.Semantics.pp_outcome o
+
+(* -------------------- Theorem 3.2 -------------------- *)
+
+let prop_theorem_3_2 =
+  QCheck.Test.make ~count:80 ~name:"Theorem 3.2: live-restricted stores preserve output"
+    Gen.arb_program_with_input (fun (p, sigma) ->
+      match Osr.Bisim.check_live_restriction ~fuel:3_000 p sigma with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+(* -------------------- hand-built mapping & transition -------------------- *)
+
+(* Versions of the same function: p computes t lazily, p' eagerly (hoisted).
+   OSR from p at point 3 to p' at point 3 needs t reconstructed. *)
+let p_lazy = parse "in x\nskip\nskip\nt := x * 2\nout t\n"
+let p_eager = parse "in x\nt := x * 2\nskip\nskip\nout t\n"
+
+let test_manual_mapping_transition () =
+  let m =
+    Osr.Mapping.make ~src:p_lazy ~dst:p_eager
+      [ (3, { Osr.Mapping.target = 3; comp = [ ("t", Binop (Mul, Var "x", Num 2)) ] }) ]
+  in
+  (match Osr.Mapping.check_resumption m (Minilang.Store.of_list [ ("x", 21) ]) ~osr_at:3 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Osr.Mapping.check_strict_on_input m (Minilang.Store.of_list [ ("x", 21) ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_mapping_domain_coverage () =
+  let m =
+    Osr.Mapping.make ~src:p_lazy ~dst:p_eager
+      [
+        (2, { Osr.Mapping.target = 2; comp = [ ("t", Binop (Mul, Var "x", Num 2)) ] });
+        (3, { Osr.Mapping.target = 3; comp = [ ("t", Binop (Mul, Var "x", Num 2)) ] });
+      ]
+  in
+  Alcotest.(check (list int)) "dom" [ 2; 3 ] (Osr.Mapping.dom m);
+  Alcotest.(check bool) "not total" false (Osr.Mapping.is_total m);
+  Alcotest.(check (float 0.01)) "coverage" 0.4 (Osr.Mapping.coverage m)
+
+(* -------------------- reconstruct (Algorithm 1) -------------------- *)
+
+let test_reconstruct_rebuilds_hoisted () =
+  (* OSR from lazy (t not yet computed at 3) to eager (t live at 3):
+     reconstruct must emit t := x * 2. *)
+  let ctx = Osr.Reconstruct.make_ctx p_lazy p_eager in
+  match Osr.Reconstruct.for_point_pair ctx ~l:3 ~l':3 with
+  | Ok { comp; keep } ->
+      Alcotest.(check int) "one instruction" 1 (Osr.Comp_code.size comp);
+      Alcotest.(check (list string)) "no keep set" [] keep;
+      let sigma = Osr.Comp_code.eval comp (Minilang.Store.of_list [ ("x", 4) ]) in
+      Alcotest.(check (option int)) "t reconstructed" (Some 8) (Minilang.Store.get sigma "t")
+  | Error x -> Alcotest.failf "undef %s" x
+
+let test_reconstruct_empty_when_aligned () =
+  (* Deopt direction: t already computed in the eager version and live in
+     both: c = ⟨⟩. *)
+  let ctx = Osr.Reconstruct.make_ctx p_eager p_lazy in
+  match Osr.Reconstruct.for_point_pair ctx ~l:4 ~l':4 with
+  | Ok { comp; _ } -> Alcotest.(check int) "c = ⟨⟩" 0 (Osr.Comp_code.size comp)
+  | Error x -> Alcotest.failf "undef %s" x
+
+let test_reconstruct_transitive () =
+  (* u depends on t which depends on x: recursive reconstruction emits both
+     assignments in dependency order. *)
+  let src = parse "in x\nskip\nskip\nt := x + 1\nu := t * 2\nout u\n" in
+  let dst = parse "in x\nt := x + 1\nu := t * 2\nskip\nskip\nout u\n" in
+  let ctx = Osr.Reconstruct.make_ctx src dst in
+  (* Land at point 4 of dst, where u (and only u) is live; u's definition
+     reads t, which in turn must be rebuilt from x. *)
+  match Osr.Reconstruct.for_point_pair ctx ~l:3 ~l':4 with
+  | Ok { comp; _ } ->
+      Alcotest.(check int) "two instructions" 2 (Osr.Comp_code.size comp);
+      let sigma = Osr.Comp_code.eval comp (Minilang.Store.of_list [ ("x", 5) ]) in
+      Alcotest.(check (option int)) "u" (Some 12) (Minilang.Store.get sigma "u")
+  | Error x -> Alcotest.failf "undef %s" x
+
+let test_reconstruct_gives_up_on_merge () =
+  (* t has two reaching definitions at the landing point and is dead at the
+     source: live reconstruct must throw undef. *)
+  let src = parse "in x\nskip\nskip\nskip\nskip\nout x\n" in
+  let dst = parse "in x\nif (x) goto 4\nt := 1\ngoto 5\nskip\nout x\n" in
+  (* t dead everywhere in dst, so pick a dst where t is live at 5: *)
+  let dst = Array.copy dst in
+  dst.(5) <- Minilang.Ast.Out [ "x"; "t" ];
+  let dst' = parse (Minilang.Pretty.program_to_source dst) in
+  let ctx = Osr.Reconstruct.make_ctx src dst' in
+  (match Osr.Reconstruct.for_point_pair ctx ~l:5 ~l':5 with
+  | Error _ -> ()
+  | Ok { comp; _ } ->
+      (* t definitely-defined at 5?  Path 2→4 skips t := 1, so t is not
+         paper-live at 5 and an empty c is acceptable. *)
+      Alcotest.(check int) "no spurious code" 0 (Osr.Comp_code.size comp))
+
+let test_avail_keeps_dead_value () =
+  (* t is computed in both versions at point 2, then dead in src (never
+     used again) but live at the destination point in dst.  live cannot
+     reconstruct (t's definition reads a clobbered x), avail can reuse the
+     stored value. *)
+  let src = parse "in x\nt := x * 3\nx := 0\nskip\nout x\n" in
+  let dst = parse "in x\nt := x * 3\nx := 0\nskip\nout x t\n" in
+  let ctx = Osr.Reconstruct.make_ctx src dst in
+  (match Osr.Reconstruct.for_point_pair ~variant:Live ctx ~l:4 ~l':4 with
+  | Error _ -> ()  (* recursion bottoms out on the clobbered x *)
+  | Ok _ -> Alcotest.fail "live variant should fail: t dead at source");
+  match Osr.Reconstruct.for_point_pair ~variant:Avail ctx ~l:4 ~l':4 with
+  | Ok { comp; keep } ->
+      Alcotest.(check int) "no code needed" 0 (Osr.Comp_code.size comp);
+      Alcotest.(check (list string)) "t kept alive" [ "t" ] keep
+  | Error x -> Alcotest.failf "avail failed on %s" x
+
+(* -------------------- OSR_trans + Theorem 4.6 -------------------- *)
+
+let osr_trans_correct ?(variant = Osr.Reconstruct.Live) rule p =
+  let r = Osr.Osr_trans.osr_trans ~variant rule p in
+  let inputs = Gen.sample_inputs p in
+  let check_mapping (m : Osr.Mapping.t) =
+    List.for_all
+      (fun sigma ->
+        (match Osr.Mapping.check_strict_on_input ~fuel:3_000 m sigma with
+        | Ok () -> true
+        | Error e -> QCheck.Test.fail_report e)
+        && List.for_all
+             (fun l ->
+               match Osr.Mapping.check_resumption ~fuel:3_000 m sigma ~osr_at:l with
+               | Ok () -> true
+               | Error e -> QCheck.Test.fail_report e)
+             (Osr.Mapping.dom m))
+      inputs
+  in
+  check_mapping r.forward && check_mapping r.backward
+
+let prop_osr_trans_cp =
+  QCheck.Test.make ~count:40 ~name:"OSR_trans(CP) mappings are correct (Thm 4.6)"
+    Gen.arb_program (osr_trans_correct Rewrite.Transforms.cp)
+
+let prop_osr_trans_dce =
+  QCheck.Test.make ~count:40 ~name:"OSR_trans(DCE) mappings are correct (Thm 4.6)"
+    Gen.arb_program (osr_trans_correct Rewrite.Transforms.dce)
+
+let prop_osr_trans_hoist =
+  QCheck.Test.make ~count:40 ~name:"OSR_trans(Hoist) mappings are correct (Thm 4.6)"
+    Gen.arb_program (osr_trans_correct Rewrite.Transforms.hoist)
+
+let prop_osr_trans_cp_avail =
+  QCheck.Test.make ~count:40 ~name:"OSR_trans(CP) avail mappings are correct"
+    Gen.arb_program (osr_trans_correct ~variant:Osr.Reconstruct.Avail Rewrite.Transforms.cp)
+
+let prop_osr_trans_dce_avail =
+  QCheck.Test.make ~count:40 ~name:"OSR_trans(DCE) avail mappings are correct"
+    Gen.arb_program (osr_trans_correct ~variant:Osr.Reconstruct.Avail Rewrite.Transforms.dce)
+
+let prop_osr_trans_hoist_avail =
+  QCheck.Test.make ~count:40 ~name:"OSR_trans(Hoist) avail mappings are correct"
+    Gen.arb_program (osr_trans_correct ~variant:Osr.Reconstruct.Avail Rewrite.Transforms.hoist)
+
+let prop_avail_dominates_live =
+  QCheck.Test.make ~count:40 ~name:"avail coverage ≥ live coverage" Gen.arb_program (fun p ->
+      List.for_all
+        (fun rule ->
+          let live = Osr.Osr_trans.osr_trans ~variant:Osr.Reconstruct.Live rule p in
+          let avail = Osr.Osr_trans.osr_trans ~variant:Osr.Reconstruct.Avail rule p in
+          Osr.Mapping.coverage avail.forward >= Osr.Mapping.coverage live.forward
+          && Osr.Mapping.coverage avail.backward >= Osr.Mapping.coverage live.backward)
+        [ Rewrite.Transforms.cp; Rewrite.Transforms.dce ])
+
+(* -------------------- mapping composition (Theorem 3.4) -------------------- *)
+
+let prop_composition_correct =
+  QCheck.Test.make ~count:30 ~name:"Theorem 3.4: composed mappings are correct"
+    Gen.arb_program (fun p ->
+      let r1 = Osr.Osr_trans.osr_trans Rewrite.Transforms.cp p in
+      let r2 = Osr.Osr_trans.osr_trans Rewrite.Transforms.dce r1.p' in
+      let composed = Osr.Mapping.compose r1.forward r2.forward in
+      let inputs = Gen.sample_inputs p in
+      List.for_all
+        (fun sigma ->
+          match Osr.Mapping.check_strict_on_input ~fuel:3_000 composed sigma with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_report e)
+        inputs)
+
+let prop_fixpoint_mappings_correct =
+  QCheck.Test.make ~count:25 ~name:"OSR_trans to fixpoint composes correct mappings"
+    Gen.arb_program (fun p ->
+      let r = Osr.Osr_trans.osr_trans_fixpoint Rewrite.Transforms.hoist p in
+      let inputs = Gen.sample_inputs p in
+      List.for_all
+        (fun sigma ->
+          (match Osr.Mapping.check_strict_on_input ~fuel:3_000 r.forward sigma with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_report e)
+          &&
+          match Osr.Mapping.check_strict_on_input ~fuel:3_000 r.backward sigma with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_report e)
+        inputs)
+
+let prop_pipeline_mappings_correct =
+  QCheck.Test.make ~count:25 ~name:"OSR_trans over rule pipeline is correct"
+    Gen.arb_program (fun p ->
+      let r =
+        Osr.Osr_trans.osr_trans_pipeline
+          [ Rewrite.Transforms.cp; Rewrite.Transforms.dce; Rewrite.Transforms.hoist ]
+          p
+      in
+      let inputs = Gen.sample_inputs p in
+      List.for_all
+        (fun sigma ->
+          (match Osr.Mapping.check_strict_on_input ~fuel:3_000 r.forward sigma with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_report e)
+          &&
+          match Osr.Mapping.check_strict_on_input ~fuel:3_000 r.backward sigma with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_report e)
+        inputs)
+
+let test_compose_rejects_mismatched () =
+  let r1 = Osr.Osr_trans.osr_trans Rewrite.Transforms.cp p_lazy in
+  let r2 = Osr.Osr_trans.osr_trans Rewrite.Transforms.cp p_eager in
+  match Osr.Mapping.compose r1.forward r2.forward with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let q test = QCheck_alcotest.to_alcotest test in
+  ( "osr",
+    [
+      t "compensation code eval" test_comp_code_eval;
+      t "compensation code inputs/outputs" test_comp_code_io;
+      t "compensation code as program" test_comp_code_as_program;
+      t "manual mapping transition" test_manual_mapping_transition;
+      t "mapping domain and coverage" test_mapping_domain_coverage;
+      t "reconstruct rebuilds hoisted value" test_reconstruct_rebuilds_hoisted;
+      t "reconstruct empty when aligned" test_reconstruct_empty_when_aligned;
+      t "reconstruct transitive dependencies" test_reconstruct_transitive;
+      t "reconstruct gives up on merges" test_reconstruct_gives_up_on_merge;
+      t "avail keeps dead values" test_avail_keeps_dead_value;
+      t "compose rejects mismatched programs" test_compose_rejects_mismatched;
+      q prop_theorem_3_2;
+      q prop_osr_trans_cp;
+      q prop_osr_trans_dce;
+      q prop_osr_trans_hoist;
+      q prop_osr_trans_cp_avail;
+      q prop_osr_trans_dce_avail;
+      q prop_osr_trans_hoist_avail;
+      q prop_avail_dominates_live;
+      q prop_composition_correct;
+      q prop_fixpoint_mappings_correct;
+      q prop_pipeline_mappings_correct;
+    ] )

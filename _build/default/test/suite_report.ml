@@ -1,0 +1,77 @@
+(** Tests for the table / bar-chart renderer used by the benchmark harness
+    and the CLI. *)
+
+let test_table_alignment () =
+  let out =
+    Report.table ~header:[ "name"; "count" ]
+      [ [ "a"; "1" ]; [ "longer-name"; "12345" ] ]
+  in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  (match lines with
+  | header :: _rule :: rows ->
+      let widths = List.map String.length (header :: rows) in
+      List.iter
+        (fun w -> Alcotest.(check int) "all lines same width" (List.hd widths) w)
+        widths
+  | _ -> Alcotest.fail "unexpected table shape");
+  Alcotest.(check bool) "right-aligned numbers" true
+    (let last = List.nth lines (List.length lines - 1) in
+     String.length last > 0 && last.[String.length last - 1] = '5')
+
+let test_table_title () =
+  let out = Report.table ~title:"My Title" ~header:[ "x" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "title present" true
+    (String.length out > 8 && String.sub out 0 8 = "My Title")
+
+let test_stacked_bars_nesting () =
+  let out =
+    Report.stacked_bars ~width:10 [ ("k", [ ('.', 20.0); ('#', 50.0); ('+', 100.0) ]) ]
+  in
+  (* Inner segments overwrite outer ones: expect dots first, then hashes,
+     then pluses. *)
+  let bar =
+    match String.index_opt out '|' with
+    | Some i -> String.sub out (i + 1) 10
+    | None -> Alcotest.fail "no bar"
+  in
+  Alcotest.(check string) "nesting" "..###+++++" bar
+
+let test_stacked_bars_clamping () =
+  (* 100% exactly fills the width; nothing overflows. *)
+  let out = Report.stacked_bars ~width:8 [ ("x", [ ('#', 100.0) ]) ] in
+  Alcotest.(check bool) "closed bar" true
+    (String.length out > 0
+    && String.split_on_char '|' out |> fun parts -> List.length parts = 3)
+
+let test_ratio_bars () =
+  let out = Report.ratio_bars ~width:10 [ ("f", [ ("live", 0.5); ("avail", 1.0) ]) ] in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+  Alcotest.(check int) "one line per series" 2 (List.length lines);
+  Alcotest.(check bool) "ratio printed" true
+    (List.exists (fun l -> String.length l >= 5 && String.sub l (String.length l - 5) 5 = "1.000")
+       lines)
+
+let test_mean_stddev () =
+  let m, s = Report.mean_stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 m;
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 s;
+  let m0, s0 = Report.mean_stddev [] in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 m0;
+  Alcotest.(check (float 0.0)) "empty stddev" 0.0 s0
+
+let test_fmt_float () =
+  Alcotest.(check string) "default digits" "3.14" (Report.fmt_float 3.14159);
+  Alcotest.(check string) "custom digits" "3.1" (Report.fmt_float ~digits:1 3.14159)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "report",
+    [
+      t "table alignment" test_table_alignment;
+      t "table title" test_table_title;
+      t "stacked bars nesting" test_stacked_bars_nesting;
+      t "stacked bars clamping" test_stacked_bars_clamping;
+      t "ratio bars" test_ratio_bars;
+      t "mean and stddev" test_mean_stddev;
+      t "float formatting" test_fmt_float;
+    ] )

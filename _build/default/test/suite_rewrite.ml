@@ -1,0 +1,244 @@
+(** Tests for the rewrite-rule engine and the Figure 5 transformations:
+    each rule fires where expected, refuses to fire where its side condition
+    fails, and preserves semantics (Theorem 4.5's precondition). *)
+
+let parse = Minilang.Parser.parse_program
+
+let check_program name expected actual =
+  Alcotest.(check string) name
+    (Minilang.Pretty.program_to_source (parse expected))
+    (Minilang.Pretty.program_to_source actual)
+
+(* -------------------- constant propagation -------------------- *)
+
+let test_cp_fires () =
+  let p = parse "in x\nv := 5\nt := v + x\nout t\n" in
+  match Rewrite.Engine.apply_first Rewrite.Transforms.cp p with
+  | Some p' -> check_program "v propagated" "in x\nv := 5\nt := 5 + x\nout t\n" p'
+  | None -> Alcotest.fail "CP did not fire"
+
+let test_cp_blocked_by_redefinition () =
+  (* v is reassigned between the constant and the use on one path. *)
+  let p = parse "in x\nv := 5\nif (x) goto 5\nv := x\nt := v + 1\nout t\n" in
+  let p' = Rewrite.Engine.apply_fixpoint Rewrite.Transforms.cp p in
+  (* t := v + 1 must keep reading v (multiple reaching defs). *)
+  match Minilang.Ast.instr_at p' 5 with
+  | Assign ("t", Binop (Add, Var "v", Num 1)) -> ()
+  | i -> Alcotest.failf "CP should not fire: %s" (Minilang.Pretty.instr_to_string i)
+
+let test_cp_through_loop_blocked () =
+  let p = parse "in x\nv := 0\nv := v + 1\nif (v < x) goto 3\nout v\n" in
+  let p' = Rewrite.Engine.apply_fixpoint Rewrite.Transforms.cp p in
+  (* v in the loop body has two reaching defs (2 and 3): no propagation. *)
+  match Minilang.Ast.instr_at p' 3 with
+  | Assign ("v", Binop (Add, Var "v", Num 1)) -> ()
+  | i -> Alcotest.failf "CP fired through loop: %s" (Minilang.Pretty.instr_to_string i)
+
+let test_cp_fixpoint_chains () =
+  let p = parse "in x\na := 3\nb := a + 1\nt := a + b\nout t\n" in
+  let p' =
+    Rewrite.Engine.apply_fixpoint Rewrite.Transforms.cp p |> Rewrite.Transforms.constant_fold
+    |> Rewrite.Engine.apply_fixpoint Rewrite.Transforms.cp
+  in
+  (* After CP + folding + CP, t := 3 + 4. *)
+  match Minilang.Ast.instr_at p' 4 with
+  | Assign ("t", Binop (Add, Num 3, Num 4)) | Assign ("t", Num 7) -> ()
+  | i -> Alcotest.failf "chained CP failed: %s" (Minilang.Pretty.instr_to_string i)
+
+(* -------------------- dead code elimination -------------------- *)
+
+let test_dce_fires () =
+  let p = parse "in x\nd := x * 2\nt := x + 1\nout t\n" in
+  let p' = Rewrite.Engine.apply_fixpoint Rewrite.Transforms.dce p in
+  check_program "dead store removed" "in x\nskip\nt := x + 1\nout t\n" p'
+
+let test_dce_keeps_live () =
+  let p = parse "in x\nt := x * 2\nout t\n" in
+  Alcotest.(check bool) "no application" true
+    (Rewrite.Engine.apply_first Rewrite.Transforms.dce p = None)
+
+let test_dce_keeps_division () =
+  (* x / y can abort; deleting it would change semantics when y = 0. *)
+  let p = parse "in x y\nd := x / y\nt := x + 1\nout t\n" in
+  Alcotest.(check bool) "division not deleted" true
+    (Rewrite.Engine.apply_first Rewrite.Transforms.dce p = None)
+
+let test_dce_cascades () =
+  (* After removing t's use chain, u becomes dead too. *)
+  let p = parse "in x\nu := x + 1\nt := u * 2\nr := x\nout r\n" in
+  let p' = Rewrite.Engine.apply_fixpoint Rewrite.Transforms.dce p in
+  check_program "cascade" "in x\nskip\nskip\nr := x\nout r\n" p'
+
+(* -------------------- code motion -------------------- *)
+
+let test_hoist_fires () =
+  let p = parse "in x\nskip\ny := x + 1\nout y\n" in
+  match Rewrite.Engine.apply_first Rewrite.Transforms.hoist p with
+  | Some p' ->
+      (* Both directions satisfy the side conditions here; accept either
+         placement, but exactly one of points 2/3 holds the assignment. *)
+      let i2 = Minilang.Ast.instr_at p' 2 and i3 = Minilang.Ast.instr_at p' 3 in
+      let is_assign = function Minilang.Ast.Assign ("y", _) -> true | _ -> false in
+      let is_skip = function Minilang.Ast.Skip -> true | _ -> false in
+      Alcotest.(check bool) "moved" true
+        ((is_assign i2 && is_skip i3) || (is_skip i2 && is_assign i3))
+  | None -> Alcotest.fail "hoist did not fire"
+
+let test_hoist_blocked_by_use () =
+  (* y is used between the skip and the assignment — cannot hoist past it
+     backwards (would change the use), nor sink (no skip after). *)
+  let p = parse "in x\ny := 0\nt := y\nskip\ny := x + 1\nout y\n" in
+  let apps = Rewrite.Engine.applications Rewrite.Transforms.hoist p in
+  (* The only motion pair is (4,5) or (5,4); moving y := x+1 from 5 to 4 is
+     legal (no use of y in between); moving to any point before 3 is not.
+     Check that no application touches point 2. *)
+  List.iter
+    (fun app ->
+      if List.mem 2 (Rewrite.Engine.points_of app) then
+        Alcotest.fail "hoist moved past a use of y")
+    apps
+
+let test_hoist_blocked_by_constituent_change () =
+  (* x is modified between skip and y := x + 1: trans(e) fails. *)
+  let p = parse "in x\nskip\nx := x * 2\ny := x + 1\nout y\n" in
+  let apps = Rewrite.Engine.applications Rewrite.Transforms.hoist p in
+  List.iter
+    (fun app ->
+      if List.mem 2 (Rewrite.Engine.points_of app) && List.mem 4 (Rewrite.Engine.points_of app)
+      then Alcotest.fail "hoist crossed a constituent redefinition")
+    apps
+
+let test_hoist_self_reference_blocked () =
+  (* y := y + 1 cannot move: trans(e) fails at the defining point itself. *)
+  let p = parse "in x\ny := 0\nskip\ny := y + 1\nout y\n" in
+  let apps = Rewrite.Engine.applications Rewrite.Transforms.hoist p in
+  Alcotest.(check int) "no motion of self-referential assign" 0 (List.length apps)
+
+(* -------------------- strength reduction -------------------- *)
+
+let test_strength_reduction () =
+  let p = parse "in x\ny := 2 * x\nout y\n" in
+  match Rewrite.Engine.apply_first Rewrite.Transforms.strength_reduction p with
+  | Some p' -> check_program "2*x → x+x" "in x\ny := x + x\nout y\n" p'
+  | None -> Alcotest.fail "strength reduction did not fire"
+
+(* -------------------- constant folding -------------------- *)
+
+let test_constant_fold () =
+  let p = parse "in x\nt := 2 + 3 * 4\nu := x + (1 - 1)\nout t u\n" in
+  let p' = Rewrite.Transforms.constant_fold p in
+  (match Minilang.Ast.instr_at p' 2 with
+  | Assign ("t", Num 14) -> ()
+  | i -> Alcotest.failf "fold failed: %s" (Minilang.Pretty.instr_to_string i));
+  match Minilang.Ast.instr_at p' 3 with
+  | Assign ("u", Binop (Add, Var "x", Num 0)) -> ()
+  | i -> Alcotest.failf "partial fold failed: %s" (Minilang.Pretty.instr_to_string i)
+
+let test_constant_fold_keeps_div0 () =
+  let p = parse "in x\nt := 1 / 0\nout t\n" in
+  let p' = Rewrite.Transforms.constant_fold p in
+  match Minilang.Ast.instr_at p' 2 with
+  | Assign ("t", Binop (Div, Num 1, Num 0)) -> ()
+  | i -> Alcotest.failf "div by zero must not fold: %s" (Minilang.Pretty.instr_to_string i)
+
+(* -------------------- properties -------------------- *)
+
+let preserves_semantics name rule =
+  QCheck.Test.make ~count:60 ~name Gen.arb_program (fun p ->
+      let p' = Rewrite.Engine.apply_fixpoint ~max_steps:20 rule p in
+      Minilang.Semantics.equivalent_on ~fuel:20_000 p p' (Gen.sample_inputs p))
+
+let prop_cp_preserves = preserves_semantics "CP preserves semantics" Rewrite.Transforms.cp
+let prop_dce_preserves = preserves_semantics "DCE preserves semantics" Rewrite.Transforms.dce
+
+let prop_hoist_preserves =
+  preserves_semantics "Hoist preserves semantics" Rewrite.Transforms.hoist
+
+let prop_fold_preserves =
+  QCheck.Test.make ~count:60 ~name:"constant folding preserves semantics" Gen.arb_program
+    (fun p ->
+      Minilang.Semantics.equivalent_on ~fuel:20_000 p (Rewrite.Transforms.constant_fold p)
+        (Gen.sample_inputs p))
+
+let prop_pipeline_preserves =
+  QCheck.Test.make ~count:40 ~name:"standard pipeline preserves semantics" Gen.arb_program
+    (fun p ->
+      Minilang.Semantics.equivalent_on ~fuel:20_000 p (Rewrite.Transforms.standard_pipeline p)
+        (Gen.sample_inputs p))
+
+(* Theorem 4.5: a single application of CP, DCE or Hoist is live-variable
+   equivalent.  LVB is *not* transitive (see the regression test below), so
+   the theorem is stated per application; chains are handled by composing
+   OSR mappings (Theorem 3.4). *)
+let lve_property name rule =
+  QCheck.Test.make ~count:40 ~name Gen.arb_program_with_input (fun (p, sigma) ->
+      match Rewrite.Engine.apply_first rule p with
+      | None -> true
+      | Some p' -> (
+          match Osr.Bisim.check_on_input ~fuel:5_000 p p' sigma with
+          | Ok _ -> true
+          | Error v -> QCheck.Test.fail_reportf "LVB violated: %a" Osr.Bisim.pp_violation v))
+
+let prop_cp_lve = lve_property "CP is live-variable equivalent" Rewrite.Transforms.cp
+let prop_dce_lve = lve_property "DCE is live-variable equivalent" Rewrite.Transforms.dce
+let prop_hoist_lve = lve_property "Hoist is live-variable equivalent" Rewrite.Transforms.hoist
+
+(* Regression: live-variable bisimilarity is not transitive.  Repeated code
+   motion can route an assignment past a point where its target is live in
+   the first and last versions but dead in an intermediate one; the chain of
+   per-step LVB guarantees then says nothing about the endpoints.  Minimal
+   instance: hoist d := c (freeing the use of c), then hoist c := -4 into
+   the freed region. *)
+let test_lvb_not_transitive () =
+  (* p:  c's use at 5 keeps c=3 live at points 3..5; the second use at 7
+     reads c=-4. *)
+  let p = parse "in x\nc := 3\nskip\nskip\nd := c + x\nc := -4\nu := c * 2\nout d u\n" in
+  (* step 1 (legal hoist w.r.t. p): move d := c + x from 5 up to 3.  Now c
+     is dead at points 4..5 of p1 (next use at 7 is preceded by the
+     redefinition at 6). *)
+  let p1 = parse "in x\nc := 3\nd := c + x\nskip\nskip\nc := -4\nu := c * 2\nout d u\n" in
+  (* step 2 (legal hoist w.r.t. p1): move c := -4 from 6 up to 4 — no use
+     of c in between *in p1*.  But relative to p, the motion crossed the
+     former use point 5. *)
+  let p2 = parse "in x\nc := 3\nd := c + x\nc := -4\nskip\nskip\nu := c * 2\nout d u\n" in
+  let sigma = Minilang.Store.of_list [ ("x", 1) ] in
+  let is_lvb a b =
+    match Osr.Bisim.check_on_input a b sigma with Ok _ -> true | Error _ -> false
+  in
+  Alcotest.(check bool) "p ~ p1" true (is_lvb p p1);
+  Alcotest.(check bool) "p1 ~ p2" true (is_lvb p1 p2);
+  (* At point 5, c is live in p (used there, value 3) and live in p2 (used
+     at 7, value -4) but was dead in the intermediate p1: the per-step
+     guarantees do not chain. *)
+  Alcotest.(check bool) "p ~ p2 fails" false (is_lvb p p2)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let q test = QCheck_alcotest.to_alcotest test in
+  ( "rewrite",
+    [
+      t "CP fires" test_cp_fires;
+      t "CP blocked by redefinition" test_cp_blocked_by_redefinition;
+      t "CP blocked through loop" test_cp_through_loop_blocked;
+      t "CP chains with folding" test_cp_fixpoint_chains;
+      t "DCE fires" test_dce_fires;
+      t "DCE keeps live stores" test_dce_keeps_live;
+      t "DCE keeps division" test_dce_keeps_division;
+      t "DCE cascades" test_dce_cascades;
+      t "Hoist fires" test_hoist_fires;
+      t "Hoist blocked by use" test_hoist_blocked_by_use;
+      t "Hoist blocked by constituent change" test_hoist_blocked_by_constituent_change;
+      t "Hoist blocked on self-reference" test_hoist_self_reference_blocked;
+      t "strength reduction" test_strength_reduction;
+      t "constant folding" test_constant_fold;
+      t "folding keeps division by zero" test_constant_fold_keeps_div0;
+      t "LVB is not transitive" test_lvb_not_transitive;
+      q prop_cp_preserves;
+      q prop_dce_preserves;
+      q prop_hoist_preserves;
+      q prop_fold_preserves;
+      q prop_pipeline_preserves;
+      q prop_cp_lve;
+      q prop_dce_lve;
+      q prop_hoist_lve;
+    ] )
