@@ -9,9 +9,15 @@ type t = {
   index : (string, int) Hashtbl.t;  (** label → rpo index *)
   idom : int array;  (** rpo index → rpo index of immediate dominator; entry maps to itself *)
   preds : (string, string list) Hashtbl.t;
+  tin : int array;
+  tout : int array;
+      (** Euler-tour interval of each node in the dominator tree:
+          [a] dominates [b] iff [tin.(a) <= tin.(b) && tout.(b) <= tout.(a)],
+          making every dominance test O(1) instead of an idom-chain walk. *)
 }
 
-let compute (f : Ir.func) : t =
+let compute ?(index : Func_index.t option) (f : Ir.func) : t =
+  let index = match index with Some i -> i | None -> Func_index.make f in
   let preds = Hashtbl.create 16 in
   List.iter (fun (b : Ir.block) -> Hashtbl.replace preds b.label []) f.blocks;
   List.iter
@@ -29,7 +35,7 @@ let compute (f : Ir.func) : t =
   let rec dfs label =
     if not (Hashtbl.mem visited label) then begin
       Hashtbl.add visited label ();
-      (match Ir.find_block f label with
+      (match Func_index.find_block index label with
       | Some b -> List.iter dfs (Ir.successors b)
       | None -> ());
       post := label :: !post
@@ -74,7 +80,22 @@ let compute (f : Ir.func) : t =
           end
     done
   done;
-  { func = f; order; index; idom; preds }
+  (* Euler tour of the dominator tree (children from the idom array). *)
+  let children = Array.make n [] in
+  for i = n - 1 downto 1 do
+    if idom.(i) >= 0 then children.(idom.(i)) <- i :: children.(idom.(i))
+  done;
+  let tin = Array.make n 0 and tout = Array.make n 0 in
+  let clock = ref 0 in
+  let rec tour i =
+    tin.(i) <- !clock;
+    incr clock;
+    List.iter tour children.(i);
+    tout.(i) <- !clock;
+    incr clock
+  in
+  if n > 0 then tour 0;
+  { func = f; order; index; idom; preds; tin; tout }
 
 (** Is [label] reachable from the entry? *)
 let reachable (t : t) (label : string) : bool = Hashtbl.mem t.index label
@@ -90,9 +111,7 @@ let idom_of (t : t) (label : string) : string option =
     and are dominated by everything (vacuous). *)
 let dominates_block (t : t) ~(a : string) ~(b : string) : bool =
   match (Hashtbl.find_opt t.index a, Hashtbl.find_opt t.index b) with
-  | Some ia, Some ib ->
-      let rec walk j = if j = ia then true else if j = 0 then ia = 0 else walk t.idom.(j) in
-      walk ib
+  | Some ia, Some ib -> t.tin.(ia) <= t.tin.(ib) && t.tout.(ib) <= t.tout.(ia)
   | None, _ -> false
   | _, None -> true
 

@@ -11,9 +11,11 @@ type loop = {
 type t = { loops : loop list; dom : Dom.t }
 
 (** Detect all natural loops.  Back edge: [b → h] with [h] dominating [b].
-    Loops sharing a header are merged. *)
-let compute (f : Ir.func) : t =
-  let dom = Dom.compute f in
+    Loops sharing a header are merged.  [dom] and [index] are recomputed
+    when not supplied (the analysis manager passes cached ones). *)
+let compute ?(index : Func_index.t option) ?(dom : Dom.t option) (f : Ir.func) : t =
+  let index = match index with Some i -> i | None -> Func_index.make f in
+  let dom = match dom with Some d -> d | None -> Dom.compute ~index f in
   let back_edges =
     List.concat_map
       (fun (b : Ir.block) ->
@@ -42,7 +44,7 @@ let compute (f : Ir.func) : t =
         let rec flood label =
           if not (Hashtbl.mem body label) then begin
             Hashtbl.add body label ();
-            List.iter flood (Ir.predecessors f label)
+            List.iter flood (Func_index.predecessors index label)
           end
         in
         List.iter flood latches;

@@ -14,6 +14,7 @@ type error = { where : string; what : string }
 let pp_error ppf (e : error) = Fmt.pf ppf "%s: %s" e.where e.what
 
 let verify (f : Ir.func) : (unit, error list) result =
+  let index = Func_index.make f in
   let errs = ref [] in
   let err where fmt = Printf.ksprintf (fun what -> errs := { where; what } :: !errs) fmt in
   (* Labels unique *)
@@ -52,7 +53,7 @@ let verify (f : Ir.func) : (unit, error list) result =
   (* φ shape: one incoming per predecessor, and only among phis *)
   List.iter
     (fun (b : Ir.block) ->
-      let preds = List.sort_uniq compare (Ir.predecessors f b.label) in
+      let preds = List.sort_uniq compare (Func_index.predecessors index b.label) in
       List.iter
         (fun (i : Ir.instr) ->
           match i.rhs with
@@ -74,13 +75,13 @@ let verify (f : Ir.func) : (unit, error list) result =
   (match f.blocks with
   | e :: _ ->
       if e.phis <> [] then err e.label "entry block has phi-nodes";
-      if Ir.predecessors f e.label <> [] then err e.label "entry block has predecessors"
+      if Func_index.predecessors index e.label <> [] then err e.label "entry block has predecessors"
   | [] -> err f.fname "function has no blocks");
   (* Dominance of uses (only meaningful if structure is sane so far) *)
   if !errs = [] then begin
-    let dom = Dom.compute f in
-    let positions = Dom.instr_positions f in
-    let def_tbl = Ir.def_table f in
+    let dom = Dom.compute ~index f in
+    let positions = index.Func_index.positions in
+    let def_tbl = index.Func_index.defs in
     let def_id_of r = Option.map (fun (d : Ir.def_site) -> d.di.id) (Hashtbl.find_opt def_tbl r) in
     let check_use (b : Ir.block) (use_id : int) (r : Ir.reg) =
       if not (List.mem r f.params) then

@@ -43,8 +43,7 @@ let analyze ?(config = Reconstruct_ir.default_config) (t : Osr_ctx.t) : summary 
             { point = p; landing = None; classification = Infeasible; live_plan = None;
               avail_plan = None }
         | Some landing -> (
-            let live = Reconstruct_ir.for_point_pair ~variant:Live ~config t ~src_point:p ~landing in
-            let avail = Reconstruct_ir.for_point_pair ~variant:Avail ~config t ~src_point:p ~landing in
+            let live, avail = Reconstruct_ir.for_point_both ~config t ~src_point:p ~landing in
             match (live, avail) with
             | Ok lp, _ when Reconstruct_ir.plan_is_empty lp && lp.keep = [] ->
                 {
@@ -75,20 +74,19 @@ let analyze ?(config = Reconstruct_ir.default_config) (t : Osr_ctx.t) : summary 
                   live_plan = None; avail_plan = None }))
       points
   in
-  let count pred = List.length (List.filter pred reports) in
-  {
-    total_points = List.length points;
-    empty = count (fun r -> r.classification = Empty);
-    live_ok =
-      count (fun r ->
-          match r.classification with Empty | With_live _ -> true | _ -> false);
-    avail_ok =
-      count (fun r ->
-          match r.classification with
-          | Empty | With_live _ | With_avail _ -> true
-          | Infeasible -> false);
-    reports;
-  }
+  (* One fold computes every summary counter (the tiers nest: empty ⊆
+     live_ok ⊆ avail_ok). *)
+  let total_points, empty, live_ok, avail_ok =
+    List.fold_left
+      (fun (n, e, l, a) r ->
+        match r.classification with
+        | Empty -> (n + 1, e + 1, l + 1, a + 1)
+        | With_live _ -> (n + 1, e, l + 1, a + 1)
+        | With_avail _ -> (n + 1, e, l, a + 1)
+        | Infeasible -> (n + 1, e, l, a))
+      (0, 0, 0, 0) reports
+  in
+  { total_points; empty; live_ok; avail_ok; reports }
 
 (** Percentages for the Figure 7/8 stacked bars. *)
 let percentages (s : summary) : float * float * float =

@@ -3,12 +3,49 @@ open Import
 (** Shared context for IR-level OSR mapping construction between a base
     function and its optimized clone: direction handling, point
     correspondence (the Δ of Section 4.2), and value correspondence derived
-    from the CodeMapper's action history (Section 5.1). *)
+    from the CodeMapper's action history (Section 5.1).
+
+    Performance architecture: each side carries a {!Func_index.t} — an
+    immutable snapshot index of its function — and every side analysis
+    (dominators, liveness, loops, positions, defs, ownership) is derived
+    from that index exactly once in {!make_side}.  The context additionally
+    owns the cross-point caches that make the per-point feasibility sweep
+    near-linear: the landing-point table (all landing points of a block from
+    one backward scan) and memo tables for candidate search, re-execution
+    consistency, load-safety walks and gate identification, all of which
+    depend only on the (immutable during analysis) function pair. *)
 
 type direction = Base_to_opt | Opt_to_base
 
+(** When is an interned candidate available in the source frame? *)
+type avail_key =
+  | Always  (** constants and parameters *)
+  | Never  (** [Undef] or not part of the source frame *)
+  | At of { block : string; idx : int; rpo : int }
+      (** definition site: block label, position inside the block, and the
+          block's reverse-postorder index ([-1] when unreachable) *)
+
+(** A source candidate with its availability and liveness keys resolved
+    once: testing it against a program point is then pure array and bit
+    work — no hashing, no table lookups. *)
+type cand = {
+  cv : Ir.value;
+  akey : avail_key;
+  live_id : int;  (** interned liveness id; [-1] = always live (constants) *)
+}
+
+(** Resolved query environment of one source program point (the point's
+    block coordinates and live-before bitset), computed once per point. *)
+type penv = {
+  pe_block : string;
+  pe_idx : int;
+  pe_rpo : int;  (** rpo of the block; [-1] unreachable, [-2] unknown point *)
+  pe_bits : Liveness.Bits.t option;
+}
+
 type side = {
   func : Ir.func;
+  index : Func_index.t;
   dom : Dom.t;
   positions : (int, string * int) Hashtbl.t;
   live : Liveness.t;
@@ -18,15 +55,17 @@ type side = {
 }
 
 let make_side (f : Ir.func) : side =
-  let dom = Dom.compute f in
+  let index = Func_index.make f in
+  let dom = Dom.compute ~index f in
   {
     func = f;
+    index;
     dom;
-    positions = Dom.instr_positions f;
-    live = Liveness.compute f;
-    defs = Ir.def_table f;
-    owner = Ir.block_of_instr f;
-    loops = Loops.compute f;
+    positions = index.Func_index.positions;
+    live = Liveness.compute ~index f;
+    defs = index.Func_index.defs;
+    owner = index.Func_index.owner;
+    loops = Loops.compute ~index ~dom f;
   }
 
 type t = {
@@ -36,14 +75,55 @@ type t = {
   direction : direction;
   src : side;  (** where execution currently is *)
   dst : side;  (** where execution lands *)
+  (* Sweep caches (valid because neither function changes once the context
+     exists).  All are lazy: a context built for a single query pays for
+     nothing it does not use. *)
+  mutable landing_tbl : (int, int) Hashtbl.t option;
+      (** source point → landing anchor; absent key = no landing *)
+  cand_cache : (Ir.reg, cand list) Hashtbl.t;  (** with replace-alias reuse *)
+  cand_cache_plain : (Ir.reg, cand list) Hashtbl.t;  (** name-stability only *)
+  mutable last_env : (int * penv) option;  (** one-slot point-env cache *)
+  reexec_cache : (int * int, bool) Hashtbl.t;  (** (def_id, landing) *)
+  load_safe_cache : (int * int, bool) Hashtbl.t;  (** (def_id, landing) *)
+  gate_cache : (int, (Ir.reg * Ir.value * Ir.value * int) option) Hashtbl.t;
+      (** φ instruction id → gate decomposition *)
 }
+
+let of_sides ~(fbase : Ir.func) ~(fopt : Ir.func) ~(mapper : Code_mapper.t)
+    ~(base_side : side) ~(opt_side : side) (direction : direction) : t =
+  let src, dst =
+    match direction with
+    | Base_to_opt -> (base_side, opt_side)
+    | Opt_to_base -> (opt_side, base_side)
+  in
+  {
+    fbase;
+    fopt;
+    mapper;
+    direction;
+    src;
+    dst;
+    landing_tbl = None;
+    cand_cache = Hashtbl.create 64;
+    cand_cache_plain = Hashtbl.create 16;
+    last_env = None;
+    reexec_cache = Hashtbl.create 256;
+    load_safe_cache = Hashtbl.create 64;
+    gate_cache = Hashtbl.create 16;
+  }
 
 let make ~(fbase : Ir.func) ~(fopt : Ir.func) ~(mapper : Code_mapper.t)
     (direction : direction) : t =
+  of_sides ~fbase ~fopt ~mapper ~base_side:(make_side fbase) ~opt_side:(make_side fopt)
+    direction
+
+(** Both directions over one pair of side analyses: the forward and
+    backward sweeps see the same two functions, so dominators, liveness,
+    loops and the index are computed once instead of twice. *)
+let make_pair ~(fbase : Ir.func) ~(fopt : Ir.func) ~(mapper : Code_mapper.t) () : t * t =
   let base_side = make_side fbase and opt_side = make_side fopt in
-  match direction with
-  | Base_to_opt -> { fbase; fopt; mapper; direction; src = base_side; dst = opt_side }
-  | Opt_to_base -> { fbase; fopt; mapper; direction; src = opt_side; dst = base_side }
+  ( of_sides ~fbase ~fopt ~mapper ~base_side ~opt_side Base_to_opt,
+    of_sides ~fbase ~fopt ~mapper ~base_side ~opt_side Opt_to_base )
 
 (** Has instruction [id] been moved between blocks by the optimizer? *)
 let is_moved (t : t) (id : int) : bool = Hashtbl.mem t.mapper.moved id
@@ -68,68 +148,145 @@ let source_points (t : t) : int list =
       List.map (fun (i : Ir.instr) -> i.id) b.body @ [ b.term_id ])
     t.src.func.blocks
 
+(* All landing points at once: one backward walk per source block keeps the
+   nearest anchor at-or-after the cursor, so the whole table costs O(points)
+   instead of the O(block²) of rescanning the suffix for every point. *)
+let landing_table (t : t) : (int, int) Hashtbl.t =
+  match t.landing_tbl with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 256 in
+      List.iter
+        (fun (b : Ir.block) ->
+          let cur = ref (if anchor t b.term_id then Some b.term_id else None) in
+          (match !cur with Some a -> Hashtbl.replace tbl b.term_id a | None -> ());
+          List.iter
+            (fun (i : Ir.instr) ->
+              if anchor t i.id then cur := Some i.id;
+              match !cur with Some a -> Hashtbl.replace tbl i.id a | None -> ())
+            (List.rev b.body))
+        t.src.func.blocks;
+      t.landing_tbl <- Some tbl;
+      tbl
+
 (** Landing point in the destination for source point [p]: the first anchor
     at or after [p] in [p]'s source block (skipping instructions the
     optimizer deleted or moved away), or [None] when the whole remainder of
     the block has no anchor (e.g. the block does not exist on the other
     side). *)
 let landing_point (t : t) (p : int) : int option =
-  match Hashtbl.find_opt t.src.owner p with
-  | None -> None
-  | Some label -> (
-      match Ir.find_block t.src.func label with
-      | None -> None
-      | Some b ->
-          let rec from_body = function
-            | [] -> if anchor t b.term_id then Some b.term_id else None
-            | (i : Ir.instr) :: rest -> if anchor t i.id then Some i.id else from_body rest
-          in
-          let rec skip_to = function
-            | [] -> Some []  (* p is the terminator *)
-            | (i : Ir.instr) :: rest -> if i.id = p then Some (i :: rest) else skip_to rest
-          in
-          if p = b.term_id then if anchor t p then Some p else None
-          else (
-            match skip_to b.body with
-            | Some tail -> from_body tail
-            | None -> None))
+  Hashtbl.find_opt (landing_table t) p
 
 (* ------------------------------------------------------------------ *)
 (* Value correspondence                                                 *)
 (* ------------------------------------------------------------------ *)
 
+let in_src_frame (t : t) (r : Ir.reg) : bool =
+  Hashtbl.mem t.src.defs r || Func_index.is_param t.src.index r
+
+(* Intern one candidate value: resolve its availability site and liveness
+   id once, so point-by-point tests need no further table lookups. *)
+let make_cand (t : t) (v : Ir.value) : cand =
+  match v with
+  | Ir.Const _ -> { cv = v; akey = Always; live_id = -1 }
+  | Ir.Undef -> { cv = v; akey = Never; live_id = -1 }
+  | Ir.Reg y ->
+      let live_id = Option.value ~default:(-1) (Liveness.id_of t.src.live y) in
+      let akey =
+        if Func_index.is_param t.src.index y then Always
+        else
+          match Hashtbl.find_opt t.src.defs y with
+          | None -> Never
+          | Some (d : Ir.def_site) -> (
+              match Hashtbl.find_opt t.src.positions d.di.id with
+              | None -> Never
+              | Some (block, idx) ->
+                  let rpo =
+                    Option.value ~default:(-1)
+                      (Hashtbl.find_opt t.src.dom.Dom.index block)
+                  in
+                  At { block; idx; rpo })
+      in
+      { cv = v; akey; live_id }
+
+(** Interned source candidates for destination register [x']: name
+    stability plus the replace-action equivalences (Section 5.4's "implicit
+    aliasing information"), most specific first.  Memoized per context: the
+    answer depends only on the function pair and the action history. *)
+let candidates ?(use_aliases = true) (t : t) (x' : Ir.reg) : cand list =
+  let cache = if use_aliases then t.cand_cache else t.cand_cache_plain in
+  match Hashtbl.find_opt cache x' with
+  | Some cs -> cs
+  | None ->
+      let name_based = if in_src_frame t x' then [ Ir.Reg x' ] else [] in
+      let from_replacements =
+        if not use_aliases then []
+        else
+          match t.direction with
+          | Base_to_opt ->
+              (* Base registers whose replacement chain resolves to x' hold
+                 the same value (CSE kept x', deleted them). *)
+              List.filter_map
+                (fun alias ->
+                  if String.equal alias x' then None
+                  else if in_src_frame t alias then Some (Ir.Reg alias)
+                  else None)
+                (Code_mapper.base_aliases_of t.mapper x')
+          | Opt_to_base -> (
+              (* x' is a base register; its replacement tells us what holds
+                 the value in the optimized code. *)
+              match Code_mapper.resolve_replacement t.mapper x' with
+              | Some (Ir.Const c) -> [ Ir.Const c ]
+              | Some (Ir.Reg r') when in_src_frame t r' -> [ Ir.Reg r' ]
+              | Some _ | None -> [])
+      in
+      let cs = List.map (make_cand t) (name_based @ from_replacements) in
+      Hashtbl.replace cache x' cs;
+      cs
+
 (** Source-side values holding the same run-time value as destination
-    register [x'], derived from name stability and the replace-action
-    equivalences (Section 5.4's "implicit aliasing information").  Most
-    specific candidates first. *)
+    register [x'] (the un-interned view of {!candidates}). *)
 let source_candidates ?(use_aliases = true) (t : t) (x' : Ir.reg) : Ir.value list =
-  let name_based =
-    if Hashtbl.mem t.src.defs x' || List.mem x' t.src.func.params then [ Ir.Reg x' ] else []
-  in
-  let from_replacements =
-    if not use_aliases then []
-    else
-    match t.direction with
-    | Base_to_opt ->
-        (* Base registers whose replacement chain resolves to x' hold the
-           same value (CSE kept x', deleted them). *)
-        List.filter_map
-          (fun alias ->
-            if String.equal alias x' then None
-            else if Hashtbl.mem t.src.defs alias || List.mem alias t.src.func.params then
-              Some (Ir.Reg alias)
-            else None)
-          (Code_mapper.base_aliases_of t.mapper x')
-    | Opt_to_base -> (
-        (* x' is a base register; its replacement tells us what holds the
-           value in the optimized code. *)
-        match Code_mapper.resolve_replacement t.mapper x' with
-        | Some (Ir.Const c) -> [ Ir.Const c ]
-        | Some (Ir.Reg r') when Hashtbl.mem t.src.defs r' || List.mem r' t.src.func.params ->
-            [ Ir.Reg r' ]
-        | Some _ | None -> [])
-  in
-  name_based @ from_replacements
+  List.map (fun c -> c.cv) (candidates ~use_aliases t x')
+
+(** Resolved query environment of source point [p] (one-slot cache: the
+    sweep asks about one point many times in a row). *)
+let point_env (t : t) (p : int) : penv =
+  match t.last_env with
+  | Some (q, e) when q = p -> e
+  | _ ->
+      let pe_bits = Liveness.bits_at t.src.live p in
+      let e =
+        match Hashtbl.find_opt t.src.positions p with
+        | None -> { pe_block = ""; pe_idx = 0; pe_rpo = -2; pe_bits }
+        | Some (block, idx) ->
+            let rpo =
+              Option.value ~default:(-1) (Hashtbl.find_opt t.src.dom.Dom.index block)
+            in
+            { pe_block = block; pe_idx = idx; pe_rpo = rpo; pe_bits }
+      in
+      t.last_env <- Some (p, e);
+      e
+
+(** Availability of an interned candidate at a point: the SSA definedness
+    test of {!available_in_src} over pre-resolved coordinates. *)
+let cand_available (t : t) (e : penv) (c : cand) : bool =
+  match c.akey with
+  | Always -> true
+  | Never -> false
+  | At { block; idx; rpo } ->
+      if e.pe_rpo = -2 then false
+      else if String.equal block e.pe_block then idx < e.pe_idx
+      else if e.pe_rpo = -1 then true  (* unreachable points are vacuously dominated *)
+      else
+        rpo >= 0
+        && (let d = t.src.dom in
+            d.Dom.tin.(rpo) <= d.Dom.tin.(e.pe_rpo)
+            && d.Dom.tout.(e.pe_rpo) <= d.Dom.tout.(rpo))
+
+let cand_live (e : penv) (c : cand) : bool =
+  c.live_id < 0
+  || (match e.pe_bits with Some b -> Liveness.Bits.mem b c.live_id | None -> false)
 
 (** Is [v] available in the source frame at source point [src_point]?
     Constants always; registers when they are parameters or their
@@ -139,7 +296,7 @@ let available_in_src (t : t) ~(src_point : int) (v : Ir.value) : bool =
   | Ir.Const _ -> true
   | Ir.Undef -> false
   | Ir.Reg y ->
-      List.mem y t.src.func.params
+      Func_index.is_param t.src.index y
       || (match Hashtbl.find_opt t.src.defs y with
          | Some (d : Ir.def_site) ->
              Dom.instr_dominates t.src.dom t.src.positions ~def_id:d.di.id ~use_id:src_point
@@ -154,13 +311,21 @@ let available_in_src (t : t) ~(src_point : int) (v : Ir.value) : bool =
     needed after its loop cannot be recomputed — only the frame still holds
     its final value, which is precisely what the [avail] variant exploits. *)
 let reexec_consistent (t : t) ~(def_id : int) ~(landing : int) : bool =
-  match (Hashtbl.find_opt t.dst.owner def_id, Hashtbl.find_opt t.dst.owner landing) with
-  | Some def_block, Some landing_block ->
-      List.for_all
-        (fun (l : Loops.loop) ->
-          (not (Loops.in_loop l def_block)) || Loops.in_loop l landing_block)
-        t.dst.loops.loops
-  | _, _ -> false
+  match Hashtbl.find_opt t.reexec_cache (def_id, landing) with
+  | Some b -> b
+  | None ->
+      let b =
+        match (Hashtbl.find_opt t.dst.owner def_id, Hashtbl.find_opt t.dst.owner landing)
+        with
+        | Some def_block, Some landing_block ->
+            List.for_all
+              (fun (l : Loops.loop) ->
+                (not (Loops.in_loop l def_block)) || Loops.in_loop l landing_block)
+              t.dst.loops.loops
+        | _, _ -> false
+      in
+      Hashtbl.replace t.reexec_cache (def_id, landing) b;
+      b
 
 let live_in_src (t : t) ~(src_point : int) (v : Ir.value) : bool =
   match v with

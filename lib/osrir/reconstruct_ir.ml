@@ -59,8 +59,8 @@ let plan_is_empty (p : plan) : bool = p.comp = []
    landing point — checked as a CFG walk over destination program points
    from just after the load to the landing, cut at re-entries to the load
    itself (a re-entry restarts the window). *)
-let load_safe (t : Osr_ctx.t) ~(def_id : int) ~(landing : int) : bool =
-  let f = t.dst.func in
+let load_safe_uncached (t : Osr_ctx.t) ~(def_id : int) ~(landing : int) : bool =
+  let index = t.dst.index in
   (* Sequence of (id, rhs option) points per block: body then terminator. *)
   let block_points (b : Ir.block) =
     List.map (fun (i : Ir.instr) -> (i.id, Some i.rhs)) b.body @ [ (b.term_id, None) ]
@@ -75,7 +75,7 @@ let load_safe (t : Osr_ctx.t) ~(def_id : int) ~(landing : int) : bool =
   (* Walk the points of block [label] starting after position [after]
      (None = from the top), stopping at [landing] or [def_id]. *)
   let rec walk_block (label : string) ~(after : int option) : unit =
-    match Ir.find_block f label with
+    match Func_index.find_block index label with
     | None -> ()
     | Some b ->
         let points = block_points b in
@@ -105,6 +105,16 @@ let load_safe (t : Osr_ctx.t) ~(def_id : int) ~(landing : int) : bool =
         true
       with Unsafe -> false)
 
+(* The walk depends only on the (immutable) destination function, so its
+   verdict is shared across every source point of the sweep. *)
+let load_safe (t : Osr_ctx.t) ~(def_id : int) ~(landing : int) : bool =
+  match Hashtbl.find_opt t.load_safe_cache (def_id, landing) with
+  | Some b -> b
+  | None ->
+      let b = load_safe_uncached t ~def_id ~landing in
+      Hashtbl.replace t.load_safe_cache (def_id, landing) b;
+      b
+
 (* Gating-function support (Section 9 future work, narrow sound case): a
    two-way φ in block J whose predecessors form a triangle or diamond under
    J's immediate dominator [d] ending in [cbr c, tl, el].  Each arm must be
@@ -128,7 +138,7 @@ let gate_of_phi (t : Osr_ctx.t) ~(phi_block : string) (incoming : (string * Ir.v
         match Dom.idom_of dom phi_block with
         | None -> None
         | Some d_label -> (
-            match Ir.find_block t.dst.func d_label with
+            match Func_index.find_block t.dst.index d_label with
             | Some db -> (
                 match db.term with
                 | Ir.Cbr (Ir.Reg c, tl, el) when not (String.equal tl el) ->
@@ -140,10 +150,12 @@ let gate_of_phi (t : Osr_ctx.t) ~(phi_block : string) (incoming : (string * Ir.v
                         then Some false
                         else None
                       else if
-                        String.equal p tl && Ir.predecessors t.dst.func p = [ d_label ]
+                        String.equal p tl
+                        && Func_index.predecessors t.dst.index p = [ d_label ]
                       then Some true
                       else if
-                        String.equal p el && Ir.predecessors t.dst.func p = [ d_label ]
+                        String.equal p el
+                        && Func_index.predecessors t.dst.index p = [ d_label ]
                       then Some false
                       else None
                     in
@@ -180,23 +192,34 @@ let rec build ?(config = default_config) (t : Osr_ctx.t) (variant : variant) (st
         v
       in
       (* 1. Directly available at the origin (Algorithm 1, line 4)? *)
-      let candidates = Osr_ctx.source_candidates ~use_aliases:config.use_aliases t x' in
-      let usable v =
-        Osr_ctx.available_in_src t ~src_point v
-        && (variant = Avail || Osr_ctx.live_in_src t ~src_point v)
+      let candidates = Osr_ctx.candidates ~use_aliases:config.use_aliases t x' in
+      let env = Osr_ctx.point_env t src_point in
+      (* Both variants prefer a live candidate; only [Avail] falls back to a
+         dead one.  The keep set then grows only when it must, and an [Avail]
+         build whose keep set stays empty made exactly the [Live] build's
+         choices (see [for_point_both]). *)
+      let live_usable c =
+        Osr_ctx.cand_available t env c && Osr_ctx.cand_live env c
       in
-      (match List.find_opt usable candidates with
-      | Some (Ir.Const c) ->
+      let found =
+        match List.find_opt live_usable candidates with
+        | Some _ as r -> r
+        | None when variant = Avail ->
+            List.find_opt (fun c -> Osr_ctx.cand_available t env c) candidates
+        | None -> None
+      in
+      (match found with
+      | Some { cv = Ir.Const c; _ } ->
           (* x' must exist in the landing frame even when every consumer
              could inline the constant: it is live there. *)
           st.transfers <- (x', Ir.Const c) :: st.transfers;
           note (Ir.Const c)
-      | Some (Ir.Reg y) ->
-          if (not (Osr_ctx.live_in_src t ~src_point (Ir.Reg y))) && not (List.mem y st.keep)
-          then st.keep <- y :: st.keep;
+      | Some ({ cv = Ir.Reg y; _ } as c) ->
+          if (not (Osr_ctx.cand_live env c)) && not (List.mem y st.keep) then
+            st.keep <- y :: st.keep;
           st.transfers <- (x', Ir.Reg y) :: st.transfers;
           note (Ir.Reg x')
-      | Some Ir.Undef | None -> (
+      | Some { cv = Ir.Undef; _ } | None -> (
           (* 2. Re-execute the destination definition (lines 5–8). *)
           match Hashtbl.find_opt t.dst.defs x' with
           | None -> raise (Undef x')
@@ -240,8 +263,18 @@ let rec build ?(config = default_config) (t : Osr_ctx.t) (variant : variant) (st
                     when config.gating
                          && Osr_ctx.reexec_consistent t ~def_id:d.di.id ~landing -> (
                       (* Gating reconstruction: rebuild the φ as a select
-                         over its governing branch condition. *)
-                      match gate_of_phi t ~phi_block:d.block incoming with
+                         over its governing branch condition.  The
+                         decomposition is a property of the φ alone, so it
+                         is resolved once per context. *)
+                      let gate =
+                        match Hashtbl.find_opt t.gate_cache d.di.id with
+                        | Some g -> g
+                        | None ->
+                            let g = gate_of_phi t ~phi_block:d.block incoming in
+                            Hashtbl.replace t.gate_cache d.di.id g;
+                            g
+                      in
+                      match gate with
                       | None -> raise (Undef x')
                       | Some (c, tv, fv, d_term_id) ->
                           (* Both incomings must have been computed before
@@ -252,7 +285,7 @@ let rec build ?(config = default_config) (t : Osr_ctx.t) (variant : variant) (st
                             | Ir.Const _ -> true
                             | Ir.Undef -> false
                             | Ir.Reg y -> (
-                                List.mem y t.dst.func.params
+                                Func_index.is_param t.dst.index y
                                 || match Hashtbl.find_opt t.dst.defs y with
                                    | Some (dy : Ir.def_site) ->
                                        Dom.instr_dominates t.dst.dom t.dst.positions
@@ -310,6 +343,21 @@ let for_point_pair ?(variant = Live) ?(config = default_config) (t : Osr_ctx.t)
           keep = List.rev st.keep;
         }
   | exception Undef x -> Error x
+
+(** Both variants for one point pair, usually from a single build.  The
+    [Avail] build is strictly more permissive than [Live] in its candidate
+    search and identical elsewhere, so (inductively over the resolution
+    recursion): an [Avail] failure implies a [Live] failure, and an [Avail]
+    success that never read a dead register — empty keep set — made exactly
+    the choices the [Live] build would make, plan and all.  Only the
+    avail-feasible points with a non-empty keep set pay a second build. *)
+let for_point_both ?(config = default_config) (t : Osr_ctx.t) ~(src_point : int)
+    ~(landing : int) : (plan, Ir.reg) result * (plan, Ir.reg) result =
+  let avail = for_point_pair ~variant:Avail ~config t ~src_point ~landing in
+  match avail with
+  | Error _ -> (avail, avail)
+  | Ok ap when ap.keep = [] -> (avail, avail)
+  | Ok _ -> (for_point_pair ~variant:Live ~config t ~src_point ~landing, avail)
 
 (** Evaluate a plan against a source frame, producing the landing frame —
     the [[[c]](σ)] of Definition 3.1 at IR level.  Loads read from [memory]

@@ -77,6 +77,16 @@ val for_point_pair :
 (** The full plan for one OSR point pair: every destination register live
     at the landing point. *)
 
+val for_point_both :
+  ?config:config ->
+  Osr_ctx.t ->
+  src_point:int ->
+  landing:int ->
+  (plan, Ir.reg) result * (plan, Ir.reg) result
+(** Both variants as [(live, avail)] for one point pair, usually from a
+    single build: an [Avail] failure implies a [Live] failure, and an
+    [Avail] plan with an empty keep set is the [Live] plan verbatim. *)
+
 val eval_plan :
   plan -> src_frame:Interp.frame -> memory:Interp.memory -> (Interp.frame, Ir.reg) result
 (** Evaluate a plan against a source frame, producing the landing frame —

@@ -8,8 +8,9 @@ open Import
 
 module ISet = Set.Make (Int)
 
-let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
-  let def_tbl = Ir.def_table f in
+let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : Ir.func) :
+    bool =
+  let def_tbl = (Analysis_manager.index_of ?am f).Func_index.defs in
   let live = ref ISet.empty in
   let worklist = Queue.create () in
   let mark_reg r =

@@ -1,0 +1,111 @@
+open Import
+
+(** The analysis manager: memoizes the function-level analyses
+    ([Func_index], dominators, liveness, natural loops) for one function
+    version, with explicit invalidation.  Mirrors (in miniature) LLVM's
+    analysis-manager/pass-preservation contract:
+
+    - a pass asks for an analysis with {!index} / {!dom} / {!liveness} /
+      {!loops}; the manager computes it at most once per function version;
+    - every pass declares which analyses it {e preserves} when it changes
+      the function (see {!Pass_manager.pass}); after a changing pass run
+      the pass manager calls {!invalidate} with that list and the manager
+      drops everything else;
+    - a pass that reports "no change" preserves everything implicitly.
+
+    Caching is keyed on physical identity of the [Ir.func]: asking for an
+    analysis of a different function resets the whole cache (the manager
+    tracks one function version at a time, which is all the pipeline
+    needs). *)
+
+type analysis = Index | Dominators | Liveness | Loops
+
+(** CFG-shape-preserving passes (no block or edge changes) keep dominators
+    and loop structure valid even while they add, delete, move or rewrite
+    instructions. *)
+let cfg_preserving : analysis list = [ Dominators; Loops ]
+
+type t = {
+  mutable func : Ir.func option;  (** the function the cache is valid for *)
+  mutable index : Func_index.t option;
+  mutable dom : Dom.t option;
+  mutable live : Liveness.t option;
+  mutable loops : Loops.t option;
+}
+
+let create () : t = { func = None; index = None; dom = None; live = None; loops = None }
+
+let clear (t : t) : unit =
+  t.index <- None;
+  t.dom <- None;
+  t.live <- None;
+  t.loops <- None
+
+(* Retarget the cache when asked about a different function. *)
+let bind (t : t) (f : Ir.func) : unit =
+  match t.func with
+  | Some g when g == f -> ()
+  | _ ->
+      t.func <- Some f;
+      clear t
+
+let index (t : t) (f : Ir.func) : Func_index.t =
+  bind t f;
+  match t.index with
+  | Some i -> i
+  | None ->
+      let i = Func_index.make f in
+      t.index <- Some i;
+      i
+
+let dom (t : t) (f : Ir.func) : Dom.t =
+  bind t f;
+  match t.dom with
+  | Some d -> d
+  | None ->
+      let d = Dom.compute ~index:(index t f) f in
+      t.dom <- Some d;
+      d
+
+let liveness (t : t) (f : Ir.func) : Liveness.t =
+  bind t f;
+  match t.live with
+  | Some l -> l
+  | None ->
+      let l = Liveness.compute ~index:(index t f) f in
+      t.live <- Some l;
+      l
+
+let loops (t : t) (f : Ir.func) : Loops.t =
+  bind t f;
+  match t.loops with
+  | Some l -> l
+  | None ->
+      let l = Loops.compute ~index:(index t f) ~dom:(dom t f) f in
+      t.loops <- Some l;
+      l
+
+(* Convenience entry points for passes taking an optional manager: with a
+   manager they hit the cache, without one they compute from scratch
+   (standalone pass invocations in tests keep working unchanged). *)
+
+let index_of ?(am : t option) (f : Ir.func) : Func_index.t =
+  match am with Some t -> index t f | None -> Func_index.make f
+
+let dom_of ?(am : t option) (f : Ir.func) : Dom.t =
+  match am with Some t -> dom t f | None -> Dom.compute f
+
+let liveness_of ?(am : t option) (f : Ir.func) : Liveness.t =
+  match am with Some t -> liveness t f | None -> Liveness.compute f
+
+let loops_of ?(am : t option) (f : Ir.func) : Loops.t =
+  match am with Some t -> loops t f | None -> Loops.compute f
+
+(** Drop every cached analysis not in [preserved].  Called by the pass
+    manager after a pass reports it changed the function. *)
+let invalidate ?(preserved : analysis list = []) (t : t) : unit =
+  let keep a = List.mem a preserved in
+  if not (keep Index) then t.index <- None;
+  if not (keep Dominators) then t.dom <- None;
+  if not (keep Liveness) then t.live <- None;
+  if not (keep Loops) then t.loops <- None

@@ -39,6 +39,10 @@ type t = {
      to base-side values it stands for, and vice versa.  Chains are
      resolved at query time. *)
   repl_fwd : (string, Ir.value) Hashtbl.t;  (** base reg → value it was replaced by *)
+  mutable alias_rev : (Ir.reg, Ir.reg list) Hashtbl.t option;
+      (** memoized inverse of the resolved replacement chains: surviving
+          register → base registers that collapsed onto it.  Rebuilt lazily;
+          dropped whenever [repl_fwd] gains an entry. *)
 }
 
 let create () : t =
@@ -48,6 +52,7 @@ let create () : t =
     added = Hashtbl.create 16;
     moved = Hashtbl.create 16;
     repl_fwd = Hashtbl.create 32;
+    alias_rev = None;
   }
 
 let record (m : t) (a : action) : unit = m.actions <- a :: m.actions
@@ -78,7 +83,9 @@ let sink_instr (m : t) (i : Ir.instr) ~(from_block : string) ~(to_block : string
 
 let replace_all_uses (m : t) ~(old_value : Ir.value) ~(new_value : Ir.value) : unit =
   (match old_value with
-  | Ir.Reg r -> Hashtbl.replace m.repl_fwd r new_value
+  | Ir.Reg r ->
+      Hashtbl.replace m.repl_fwd r new_value;
+      m.alias_rev <- None
   | Ir.Const _ | Ir.Undef -> ());
   record m (Replace { old_value; new_value; inst = None })
 
@@ -112,15 +119,25 @@ let resolve_replacement (m : t) (r : Ir.reg) : Ir.value option =
     (Section 5.4): [r] itself plus every base register whose replacement
     chain ends at [r]. *)
 let base_aliases_of (m : t) (r : Ir.reg) : Ir.reg list =
-  let aliases = ref [ r ] in
-  Hashtbl.iter
-    (fun old _ ->
-      match resolve_replacement m old with
-      | Some (Ir.Reg r') when String.equal r r' && not (List.mem old !aliases) ->
-          aliases := old :: !aliases
-      | _ -> ())
-    m.repl_fwd;
-  !aliases
+  let rev =
+    match m.alias_rev with
+    | Some h -> h
+    | None ->
+        (* One scan of the replacement table inverts every resolved chain
+           at once; per-register queries are then O(answer). *)
+        let h = Hashtbl.create (max 16 (Hashtbl.length m.repl_fwd)) in
+        Hashtbl.iter
+          (fun old _ ->
+            match resolve_replacement m old with
+            | Some (Ir.Reg r') when not (String.equal old r') ->
+                Hashtbl.replace h r'
+                  (old :: Option.value ~default:[] (Hashtbl.find_opt h r'))
+            | _ -> ())
+          m.repl_fwd;
+        m.alias_rev <- Some h;
+        h
+  in
+  Option.value ~default:[] (Hashtbl.find_opt rev r) @ [ r ]
 
 (** Count of each primitive action kind, for Table 2. *)
 type counts = { add : int; delete : int; hoist : int; sink : int; replace : int }

@@ -6,7 +6,8 @@ open Import
     the folding.  OSR-aware: every deletion and use-rewrite is recorded in
     the CodeMapper. *)
 
-let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+let run ?(mapper : Code_mapper.t option) ?am:(_ : Analysis_manager.t option)
+    (f : Ir.func) : bool =
   let changed = ref false in
   let continue_ = ref true in
   while !continue_ do

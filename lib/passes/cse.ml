@@ -40,9 +40,10 @@ let rhs_key (rhs : Ir.rhs) : string option =
         (Printf.sprintf "call %s %s" name (String.concat " " (List.map Ir.value_to_string args)))
   | Ir.Call _ | Ir.Alloca _ | Ir.Load _ | Ir.Store _ | Ir.Phi _ -> None
 
-let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : Ir.func) :
+    bool =
   let changed = ref false in
-  let dom = Dom.compute f in
+  let dom = Analysis_manager.dom_of ?am f in
   let children = Mem2reg.dom_children dom in
   let avail : (string, Ir.value) Hashtbl.t = Hashtbl.create 64 in
   let avail_loads : (string, Ir.value * int) Hashtbl.t = Hashtbl.create 16 in

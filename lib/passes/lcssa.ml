@@ -7,9 +7,15 @@ open Import
     rebuilds for free (Section 5.4).  OSR-aware: inserted φ-nodes are
     recorded as [add] actions, and the outside-use rewrites as [replace]. *)
 
-let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : Ir.func) :
+    bool =
   let changed = ref false in
-  let loop_info = Loops.compute f in
+  let loop_info = Analysis_manager.loops_of ?am f in
+  (* φ insertion never adds or removes blocks or edges, so [loop_info.dom]
+     stays valid for every dominance query below.  The def table only gains
+     entries (each inserted φ defines a fresh register) and existing sites
+     never move, so one table serves the whole pass. *)
+  let def_tbl = Ir.def_table f in
   List.iter
     (fun (l : Loops.loop) ->
       let exits = Loops.exit_targets f l in
@@ -64,7 +70,6 @@ let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
                       (* Only legal if r is available at those edges; we rely
                          on the definition dominating the exit (checked via
                          the verifier after the pass; if it does not, skip). *)
-                      let def_tbl = Ir.def_table f in
                       match Hashtbl.find_opt def_tbl r with
                       | Some (d : Ir.def_site)
                         when List.for_all
@@ -93,11 +98,11 @@ let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
                               (fun m -> Code_mapper.add_instr m phi ~block:exit_label)
                               mapper;
                             (* Rewrite outside uses dominated by this exit. *)
-                            let dom2 = Dom.compute f in
                             List.iter
                               (fun ((ub : Ir.block), (ui : Ir.instr)) ->
                                 if
-                                  Dom.dominates_block dom2 ~a:exit_label ~b:ub.label
+                                  Dom.dominates_block loop_info.dom ~a:exit_label
+                                    ~b:ub.label
                                   && ui.id <> phi.id
                                 then begin
                                   let subst v =

@@ -14,9 +14,11 @@ open Import
 
     OSR-aware: every motion is recorded as a [hoist] action. *)
 
-let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : Ir.func) :
+    bool =
   let changed = ref false in
-  let loop_info = Loops.compute f in
+  let loop_info = Analysis_manager.loops_of ?am f in
+  let index = Analysis_manager.index_of ?am f in
   List.iter
     (fun (l : Loops.loop) ->
       match Loops.preheader f l with
@@ -26,7 +28,7 @@ let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
           let loop_has_memory_effects =
             List.exists
               (fun label ->
-                match Ir.find_block f label with
+                match Func_index.find_block index label with
                 | Some b ->
                     List.exists
                       (fun (i : Ir.instr) ->
@@ -43,7 +45,7 @@ let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
           let defined_in : (Ir.reg, unit) Hashtbl.t = Hashtbl.create 32 in
           List.iter
             (fun label ->
-              match Ir.find_block f label with
+              match Func_index.find_block index label with
               | Some b ->
                   List.iter
                     (fun (i : Ir.instr) ->
@@ -62,7 +64,7 @@ let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
             continue_ := false;
             List.iter
               (fun label ->
-                match Ir.find_block f label with
+                match Func_index.find_block index label with
                 | None -> ()
                 | Some b ->
                     let dominates_exits =

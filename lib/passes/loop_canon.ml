@@ -9,7 +9,8 @@ open Import
     Table 2's discussion).  OSR-aware: inserted φ-nodes are recorded as
     [add] actions. *)
 
-let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+let run ?(mapper : Code_mapper.t option) ?am:(_ : Analysis_manager.t option)
+    (f : Ir.func) : bool =
   let changed = ref false in
   let continue_ = ref true in
   while !continue_ do

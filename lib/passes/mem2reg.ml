@@ -41,7 +41,7 @@ let dom_children (dom : Dom.t) : (string, string list) Hashtbl.t =
     dom.order;
   children
 
-let run (f : Ir.func) : bool =
+let run ?(am : Analysis_manager.t option) (f : Ir.func) : bool =
   let slots =
     List.concat_map
       (fun (b : Ir.block) ->
@@ -56,7 +56,7 @@ let run (f : Ir.func) : bool =
   if slots = [] then false
   else begin
     let slot_names = List.map fst slots in
-    let dom = Dom.compute f in
+    let dom = Analysis_manager.dom_of ?am f in
     let df = Dom.frontiers dom in
     let children = dom_children dom in
     (* Blocks storing to each slot. *)

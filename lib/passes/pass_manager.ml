@@ -4,26 +4,61 @@ open Import
     5.4) at the IR level — clone the function, run an optimization
     pipeline over the clone with a shared CodeMapper recording every
     primitive action, verify SSA after each pass, and hand back everything
-    the OSR layer needs. *)
+    the OSR layer needs.
+
+    Analyses (dominators, liveness, loops, the function index) are owned
+    by an {!Analysis_manager.t} shared across the pipeline: each pass
+    declares which analyses it preserves {e when it changes the function},
+    and the manager invalidates the rest; a pass that reports no change
+    preserves everything. *)
 
 type pass = {
   pname : string;
-  run : ?mapper:Code_mapper.t -> Ir.func -> bool;
+  run : ?mapper:Code_mapper.t -> ?am:Analysis_manager.t -> Ir.func -> bool;
   instrumented : bool;
       (** does this pass record CodeMapper actions (Table 1's pass set)? *)
+  preserves : Analysis_manager.analysis list;
+      (** analyses still valid after this pass changed the function *)
 }
 
 let mem2reg : pass =
-  { pname = "mem2reg"; run = (fun ?mapper:_ f -> Mem2reg.run f); instrumented = false }
+  {
+    pname = "mem2reg";
+    run = (fun ?mapper:_ ?am f -> Mem2reg.run ?am f);
+    instrumented = false;
+    preserves = Analysis_manager.cfg_preserving;
+  }
 
-let constprop : pass = { pname = "CP"; run = Constprop.run; instrumented = true }
-let sccp : pass = { pname = "SCCP"; run = Sccp.run; instrumented = true }
-let cse : pass = { pname = "CSE"; run = Cse.run; instrumented = true }
-let adce : pass = { pname = "ADCE"; run = Adce.run; instrumented = true }
-let loop_canon : pass = { pname = "LC"; run = Loop_canon.run; instrumented = true }
-let lcssa : pass = { pname = "LCSSA"; run = Lcssa.run; instrumented = true }
-let licm : pass = { pname = "LICM"; run = Licm.run; instrumented = true }
-let sink : pass = { pname = "Sink"; run = Sink.run; instrumented = true }
+let constprop : pass =
+  { pname = "CP"; run = Constprop.run; instrumented = true;
+    preserves = Analysis_manager.cfg_preserving }
+
+(* SCCP folds branches and deletes unreachable blocks: nothing survives. *)
+let sccp : pass = { pname = "SCCP"; run = Sccp.run; instrumented = true; preserves = [] }
+
+let cse : pass =
+  { pname = "CSE"; run = Cse.run; instrumented = true;
+    preserves = Analysis_manager.cfg_preserving }
+
+let adce : pass =
+  { pname = "ADCE"; run = Adce.run; instrumented = true;
+    preserves = Analysis_manager.cfg_preserving }
+
+(* LoopCanon inserts preheader blocks and rewires edges: nothing survives. *)
+let loop_canon : pass =
+  { pname = "LC"; run = Loop_canon.run; instrumented = true; preserves = [] }
+
+let lcssa : pass =
+  { pname = "LCSSA"; run = Lcssa.run; instrumented = true;
+    preserves = Analysis_manager.cfg_preserving }
+
+let licm : pass =
+  { pname = "LICM"; run = Licm.run; instrumented = true;
+    preserves = Analysis_manager.cfg_preserving }
+
+let sink : pass =
+  { pname = "Sink"; run = Sink.run; instrumented = true;
+    preserves = Analysis_manager.cfg_preserving }
 
 (** The optimization pipeline of Section 5.4 (ADCE, CP, CSE, LICM, SCCP,
     Sink, plus the LC and LCSSA utility passes LICM requires). *)
@@ -44,11 +79,13 @@ exception Verification_failed of string * string  (** pass name, details *)
 let apply ?(pipeline = standard_pipeline) ?(verify = true) (f : Ir.func) : apply_result =
   let fopt = Ir.clone_func f in
   let mapper = Code_mapper.create () in
+  let am = Analysis_manager.create () in
   let per_pass = ref [] in
   List.iter
     (fun (p : pass) ->
       let before = Code_mapper.counts mapper in
-      let _changed : bool = p.run ~mapper fopt in
+      let changed = p.run ~mapper ~am fopt in
+      if changed then Analysis_manager.invalidate ~preserved:p.preserves am;
       let after = Code_mapper.counts mapper in
       let delta : Code_mapper.counts =
         {

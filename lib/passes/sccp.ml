@@ -20,7 +20,8 @@ let meet (a : lattice) (b : lattice) : lattice =
   | Const x, Const y -> if x = y then Const x else Bottom
   | Bottom, _ | _, Bottom -> Bottom
 
-let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+let run ?(mapper : Code_mapper.t option) ?am:(_ : Analysis_manager.t option)
+    (f : Ir.func) : bool =
   let changed = ref false in
   let state : (Ir.reg, lattice) Hashtbl.t = Hashtbl.create 64 in
   let get_state r =

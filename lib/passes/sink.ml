@@ -17,12 +17,15 @@ let sinkable_rhs : Ir.rhs -> bool = function
   | Ir.Call (name, _) -> Ir.is_pure_call name
   | Ir.Load _ | Ir.Store _ | Ir.Alloca _ | Ir.Phi _ -> false
 
-let run ?(mapper : Code_mapper.t option) (f : Ir.func) : bool =
+let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : Ir.func) :
+    bool =
   let changed = ref false in
+  (* Sinking moves instructions but never touches blocks or edges, so one
+     dominator tree serves every fixpoint iteration. *)
+  let dom = Analysis_manager.dom_of ?am f in
   let continue_ = ref true in
   while !continue_ do
     continue_ := false;
-    let dom = Dom.compute f in
     (* Collect use sites per register. *)
     let uses : (Ir.reg, [ `Body of string | `Phi | `Term ] list) Hashtbl.t = Hashtbl.create 64 in
     let add_use r site =

@@ -256,6 +256,69 @@ let prop_determinism =
   QCheck.Test.make ~count:80 ~name:"interpreter is deterministic" Gen_ir.arb_func_with_args
     (fun (f, args) -> Interp.equal_result (Interp.run f ~args) (Interp.run f ~args))
 
+(* Every program point of [f]: φ ids, body ids, terminator ids. *)
+let all_points (f : Ir.func) : int list =
+  List.concat_map
+    (fun (b : Ir.block) ->
+      List.map (fun (i : Ir.instr) -> i.Ir.id) (b.phis @ b.body) @ [ b.term_id ])
+    f.blocks
+
+let all_regs (f : Ir.func) : string list =
+  let def_tbl = Ir.def_table f in
+  f.params @ Hashtbl.fold (fun r _ acc -> r :: acc) def_tbl []
+
+let prop_liveness_agrees_with_reference =
+  QCheck.Test.make ~count:150 ~name:"bitset liveness agrees with reference"
+    Gen_ir.arb_func (fun (f : Ir.func) ->
+      let lv = Liveness.compute f in
+      let oracle = Liveness.Reference.compute f in
+      let regs = "nonexistent" :: all_regs f in
+      List.for_all
+        (fun p ->
+          let got = Liveness.live_at lv p in
+          let want = Liveness.Reference.live_at oracle p in
+          if got <> want then
+            QCheck.Test.fail_reportf "live_at %d: [%s] vs reference [%s]\n%s" p
+              (String.concat " " got) (String.concat " " want) (Ir.func_to_string f)
+          else
+            List.for_all
+              (fun r ->
+                Liveness.is_live lv p r = Liveness.Reference.is_live oracle p r
+                || QCheck.Test.fail_reportf "is_live %d %s disagrees" p r)
+              regs)
+        (all_points f)
+      && List.for_all
+           (fun (b : Ir.block) ->
+             Liveness.live_out_of lv b.label
+             = Liveness.Reference.live_out_of oracle b.label
+             || QCheck.Test.fail_reportf "live_out_of %s disagrees" b.label)
+           f.blocks)
+
+let prop_func_index_consistent =
+  QCheck.Test.make ~count:150 ~name:"Func_index agrees with linear lookups"
+    Gen_ir.arb_func (fun (f : Ir.func) ->
+      let idx = Miniir.Func_index.make f in
+      (match Miniir.Func_index.check idx with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "Func_index.check: %s" msg);
+      List.for_all
+        (fun (b : Ir.block) ->
+          (match (Miniir.Func_index.find_block idx b.label, Ir.find_block f b.label) with
+          | Some b1, Some b2 -> b1 == b2
+          | _ -> false)
+          && Miniir.Func_index.successors idx b.label = Ir.successors b
+          && List.sort compare (Miniir.Func_index.predecessors idx b.label)
+             = List.sort compare (Ir.predecessors f b.label))
+        f.blocks
+      && Miniir.Func_index.find_block idx "nonexistent" = None
+      && List.for_all
+           (fun p ->
+             match Miniir.Func_index.position_of idx p with
+             | None -> false
+             | Some (label, _) -> Miniir.Func_index.owner_of idx p = Some label)
+           (all_points f)
+      && List.for_all (fun r -> Miniir.Func_index.is_param idx r) f.params)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   let q test = QCheck_alcotest.to_alcotest test in
@@ -279,4 +342,6 @@ let suite =
       q prop_generated_terminate;
       q prop_roundtrip;
       q prop_determinism;
+      q prop_liveness_agrees_with_reference;
+      q prop_func_index_consistent;
     ] )
