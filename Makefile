@@ -1,0 +1,31 @@
+.PHONY: all build test fmt bench bench-smoke perf clean
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 gate: full build + every test suite (includes the bench smoke rule).
+test:
+	dune build && dune runtest
+
+# Formatting gate. ocamlformat is not available in this environment, so the
+# @fmt alias is scoped to dune files via (formatting (enabled_for dune)) in
+# dune-project; run `dune build @fmt --auto-promote` to fix reported diffs.
+fmt:
+	dune build @fmt
+
+bench:
+	dune exec bench/main.exe -- all
+
+# Fast instrumented self-check: sweep two kernels under a live telemetry
+# sink and validate the emitted Chrome trace with the in-tree JSON reader.
+bench-smoke:
+	dune exec bench/main.exe -- smoke
+
+# Feasibility-sweep timing + BENCH_feasibility.json + Chrome trace.
+perf:
+	dune exec bench/main.exe -- perf --trace-out trace.json
+
+clean:
+	dune clean

@@ -5,7 +5,10 @@
     design choices called out in DESIGN.md.
 
     Usage: [bench/main.exe [table1|table2|fig7|fig8|table3|table4|fig9|
-    table5|perf|ablate|all]] (default: all). *)
+    table5|perf|smoke|ablate|all]] (default: all).  [perf] accepts
+    [--trace-out FILE] to also emit a Chrome-trace JSON of the sweep and a
+    per-pass timing table; [smoke] is the fast self-check wired into
+    [dune runtest]. *)
 
 module Ir = Miniir.Ir
 module P = Passes.Pass_manager
@@ -29,26 +32,33 @@ type kernel_data = {
   bwd : F.summary Lazy.t;  (** fopt → fbase feasibility *)
 }
 
-let kernel_data : kernel_data list Lazy.t =
-  lazy
-    (List.map
-       (fun (entry : Corpus.Kernels.entry) ->
-         let fbase, _dbg = Corpus.Dsl.to_fbase entry.kernel in
-         let r = P.apply fbase in
-         {
-           entry;
-           fbase = r.fbase;
-           fopt = r.fopt;
-           mapper = r.mapper;
-           per_pass = r.per_pass;
-           fwd =
-             lazy
-               (F.analyze (Ctx.make ~fbase:r.fbase ~fopt:r.fopt ~mapper:r.mapper Ctx.Base_to_opt));
-           bwd =
-             lazy
-               (F.analyze (Ctx.make ~fbase:r.fbase ~fopt:r.fopt ~mapper:r.mapper Ctx.Opt_to_base));
-         })
-       Corpus.Kernels.all)
+let build_kernel_data ?(telemetry = Telemetry.null) (entries : Corpus.Kernels.entry list) :
+    kernel_data list =
+  List.map
+    (fun (entry : Corpus.Kernels.entry) ->
+      let fbase, _dbg = Corpus.Dsl.to_fbase entry.kernel in
+      let r =
+        Telemetry.with_span telemetry ~cat:"kernel" entry.benchmark @@ fun () ->
+        P.apply ~telemetry fbase
+      in
+      {
+        entry;
+        fbase = r.fbase;
+        fopt = r.fopt;
+        mapper = r.mapper;
+        per_pass = r.per_pass;
+        fwd =
+          lazy
+            (F.analyze ~telemetry
+               (Ctx.make ~fbase:r.fbase ~fopt:r.fopt ~mapper:r.mapper Ctx.Base_to_opt));
+        bwd =
+          lazy
+            (F.analyze ~telemetry
+               (Ctx.make ~fbase:r.fbase ~fopt:r.fopt ~mapper:r.mapper Ctx.Opt_to_base));
+      })
+    entries
+
+let kernel_data : kernel_data list Lazy.t = lazy (build_kernel_data Corpus.Kernels.all)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: per-pass instrumentation statistics                         *)
@@ -67,9 +77,15 @@ let pass_sources =
     ("other", "lib/passes/code_mapper.ml");
   ]
 
-(* The harness may run from the repo root or from _build; try both. *)
+(* The harness may run from the repo root or from anywhere inside _build;
+   dune tells executables where the workspace root is. *)
 let read_source rel =
-  let candidates = [ rel; Filename.concat "../.." rel; Filename.concat "../../.." rel ] in
+  let candidates =
+    (match Sys.getenv_opt "DUNE_SOURCEROOT" with
+    | Some root -> [ Filename.concat root rel ]
+    | None -> [])
+    @ [ rel; Filename.concat "../.." rel; Filename.concat "../../.." rel ]
+  in
   List.find_map
     (fun path ->
       match In_channel.with_open_text path In_channel.input_all with
@@ -377,7 +393,7 @@ type sweep_row = {
   sk_wall_s : float;  (** wall time for the fwd+bwd sweep *)
 }
 
-let time_sweep () : sweep_row list =
+let time_sweep ?(telemetry = Telemetry.null) (kds : kernel_data list) : sweep_row list =
   List.map
     (fun kd ->
       (* Fresh contexts every time: the sweep cost we care about includes
@@ -386,21 +402,26 @@ let time_sweep () : sweep_row list =
       let fwd_ctx, bwd_ctx =
         Ctx.make_pair ~fbase:kd.fbase ~fopt:kd.fopt ~mapper:kd.mapper ()
       in
-      let fwd = F.analyze fwd_ctx in
-      let bwd = F.analyze bwd_ctx in
+      let fwd, bwd =
+        Telemetry.with_span telemetry ~cat:"sweep" kd.entry.benchmark @@ fun () ->
+        (F.analyze ~telemetry fwd_ctx, F.analyze ~telemetry bwd_ctx)
+      in
       let t1 = Unix.gettimeofday () in
       {
         sk_bench = kd.entry.benchmark;
         sk_points = fwd.F.total_points + bwd.F.total_points;
         sk_wall_s = t1 -. t0;
       })
-    (Lazy.force kernel_data)
+    kds
 
-let sweep_perf () =
+let sweep_perf ?trace_out () =
+  let kds = Lazy.force kernel_data in
   (* One warm-up sweep (corpus construction, allocator), then the timed
-     runs: best of three to shave scheduler noise. *)
-  ignore (time_sweep () : sweep_row list);
-  let runs = [ time_sweep (); time_sweep (); time_sweep () ] in
+     runs: best of three to shave scheduler noise.  The timed runs always
+     use the null sink, so the recorded numbers are the uninstrumented
+     cost; the optional traced run happens afterwards. *)
+  ignore (time_sweep kds : sweep_row list);
+  let runs = [ time_sweep kds; time_sweep kds; time_sweep kds ] in
   let total rows = List.fold_left (fun a r -> a +. r.sk_wall_s) 0.0 rows in
   let best = List.fold_left (fun acc r -> if total r < total acc then r else acc)
       (List.hd runs) (List.tl runs) in
@@ -441,7 +462,77 @@ let sweep_perf () =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   print_endline "  wrote BENCH_feasibility.json";
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      (* A separate instrumented run — full pipeline rebuild plus one sweep
+         under a live sink — so the trace shows both the per-pass and the
+         per-kernel breakdown without polluting the timed numbers above. *)
+      let sink = Telemetry.create () in
+      Telemetry.reset_counters ();
+      let traced = build_kernel_data ~telemetry:sink Corpus.Kernels.all in
+      ignore (time_sweep ~telemetry:sink traced : sweep_row list);
+      print_string
+        (Report.table ~title:"Per-pass timing of the traced run (wall clock)"
+           ~header:[ "span"; "count"; "total (ms)"; "self (ms)" ]
+           (Telemetry.timing_rows sink));
+      Telemetry.write_chrome_trace sink path;
+      Printf.printf "  wrote %s (%d trace events)\n" path
+        (List.length (Telemetry.trace_events sink)));
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Smoke check (wired into `dune runtest`; also `make bench-smoke`)     *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the sweep on two kernels under a live sink, emit a Chrome trace
+    and validate it with the in-tree JSON reader: the artifact path the
+    [perf] mode exercises must stay loadable. *)
+let smoke () =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        prerr_endline ("bench smoke: FAILED: " ^ m);
+        exit 1)
+      fmt
+  in
+  let sink = Telemetry.create () in
+  Telemetry.reset_counters ();
+  let kds =
+    build_kernel_data ~telemetry:sink (List.filteri (fun i _ -> i < 2) Corpus.Kernels.all)
+  in
+  if List.length kds <> 2 then fail "expected 2 kernels, corpus has %d" (List.length kds);
+  let rows = time_sweep ~telemetry:sink kds in
+  List.iter (fun r -> if r.sk_points <= 0 then fail "kernel %s swept 0 points" r.sk_bench) rows;
+  let path = Filename.temp_file "osr_trace_smoke" ".json" in
+  Telemetry.write_chrome_trace sink path;
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  let module J = Telemetry.Json in
+  (match J.parse contents with
+  | Error e -> fail "trace JSON unparseable: %s" e
+  | Ok json -> (
+      match J.member "traceEvents" json with
+      | Some (J.Arr []) -> fail "trace has no events"
+      | Some (J.Arr events) ->
+          List.iter
+            (fun ev ->
+              match (J.member "ph" ev, J.member "name" ev, J.member "ts" ev, J.member "dur" ev)
+              with
+              | Some (J.Str "X"), Some (J.Str _), Some (J.Num ts), Some (J.Num dur) ->
+                  if ts < 0.0 || dur < 0.0 then fail "negative ts/dur in trace event"
+              | _ -> fail "trace event is not a complete \"X\" event")
+            events
+      | Some _ | None -> fail "trace JSON has no traceEvents array"));
+  (match J.parse (Telemetry.counters_json ()) with
+  | Error e -> fail "counters JSON unparseable: %s" e
+  | Ok _ -> ());
+  if Telemetry.nonzero_counters () = [] then fail "no counters bumped";
+  Printf.printf "bench smoke OK: %d kernels, %d points, %d trace events, %d nonzero counters\n"
+    (List.length rows)
+    (List.fold_left (fun a r -> a + r.sk_points) 0 rows)
+    (List.length (Telemetry.trace_events sink))
+    (List.length (Telemetry.nonzero_counters ()))
 
 (* ------------------------------------------------------------------ *)
 (* Timing micro-benchmarks                                              *)
@@ -563,10 +654,21 @@ let ablate () =
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|fig7|fig8|table3|table4|fig9|table5|perf|micro|ablate|all]"
+    "usage: main.exe [table1|table2|fig7|fig8|table3|table4|fig9|table5|\n\
+    \       perf [--trace-out FILE]|smoke|micro|ablate|all]"
 
 let () =
   let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* The only option: `perf --trace-out FILE` (a Chrome trace of the
+     instrumented run). *)
+  let trace_out =
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--trace-out" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 2
+  in
   match cmd with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
@@ -576,7 +678,8 @@ let () =
   | "table4" -> table4 ()
   | "fig9" -> fig9 ()
   | "table5" -> table5 ()
-  | "perf" -> sweep_perf ()
+  | "perf" -> sweep_perf ?trace_out ()
+  | "smoke" -> smoke ()
   | "micro" -> micro ()
   | "ablate" -> ablate ()
   | "all" ->
@@ -589,6 +692,6 @@ let () =
       fig9 ();
       table5 ();
       ablate ();
-      sweep_perf ();
+      sweep_perf ?trace_out ();
       micro ()
   | _ -> usage ()

@@ -50,9 +50,77 @@ let args_opt =
     value & opt_all int []
     & info [ "a"; "arg" ] ~docv:"N" ~doc:"Function argument (repeatable; default: the kernel's)")
 
-let prepare (e : Corpus.Kernels.entry) =
+(* --- telemetry flags, shared by the working commands ------------------ *)
+
+type telem_opts = {
+  stats : bool;
+  remarks : string option;  (** [Some ""] = every pass, [Some p] = only pass [p] *)
+  time_passes : bool;
+  trace_out : string option;
+}
+
+let telem_term : telem_opts Term.t =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the statistics counters (the LLVM -stats analogue).")
+  in
+  let remarks =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "remarks" ] ~docv:"PASS"
+          ~doc:
+            "Print optimization remarks, optionally only those of $(docv) (e.g. \
+             --remarks=LICM).")
+  in
+  let time_passes =
+    Arg.(
+      value & flag
+      & info [ "time-passes" ] ~doc:"Print the per-span timing table (-time-passes analogue).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome-trace JSON of all spans to $(docv) (load in chrome://tracing).")
+  in
+  let combine stats remarks time_passes trace_out = { stats; remarks; time_passes; trace_out } in
+  Term.(const combine $ stats $ remarks $ time_passes $ trace_out)
+
+(** Run [f] with a sink (live only when some telemetry output was asked
+    for), then emit the requested reports. *)
+let with_telemetry (o : telem_opts) (f : Telemetry.sink -> unit) : unit =
+  let live = o.stats || o.remarks <> None || o.time_passes || o.trace_out <> None in
+  let sink = if live then Telemetry.create () else Telemetry.null in
+  Telemetry.reset_counters ();
+  f sink;
+  if o.time_passes then
+    print_string
+      (Report.table ~title:"Span timings (wall clock)"
+         ~header:[ "span"; "count"; "total (ms)"; "self (ms)" ]
+         (Telemetry.timing_rows sink));
+  (match o.remarks with
+  | None -> ()
+  | Some filter ->
+      let pass = if filter = "" then None else Some filter in
+      List.iter
+        (fun r -> print_endline (Telemetry.remark_to_string r))
+        (Telemetry.remarks ?pass sink));
+  if o.stats then
+    print_string
+      (Report.table ~title:"Statistics counters" ~header:[ "counter"; "value"; "description" ]
+         (Telemetry.counter_rows ()));
+  Option.iter
+    (fun path ->
+      Telemetry.write_chrome_trace sink path;
+      Printf.printf "wrote %s (%d events)\n" path (List.length (Telemetry.trace_events sink)))
+    o.trace_out
+
+let prepare ?telemetry (e : Corpus.Kernels.entry) =
   let fbase, dbg = Corpus.Dsl.to_fbase e.kernel in
-  let r = P.apply fbase in
+  let r = P.apply ?telemetry fbase in
   (r, dbg)
 
 (* --- list ----------------------------------------------------------- *)
@@ -83,11 +151,12 @@ let show_cmd =
 (* --- run ------------------------------------------------------------ *)
 
 let run_cmd =
-  let run (entry : Corpus.Kernels.entry) opt args =
-    let r, _ = prepare entry in
+  let run (entry : Corpus.Kernels.entry) opt args telem =
+    with_telemetry telem @@ fun sink ->
+    let r, _ = prepare ~telemetry:sink entry in
     let f = if opt then r.P.fopt else r.P.fbase in
     let args = if args = [] then entry.default_args else args in
-    match Interp.run f ~args with
+    match Telemetry.with_span sink ~cat:"vm" "interp" (fun () -> Interp.run ~telemetry:sink f ~args) with
     | Ok o ->
         Printf.printf "ret %d  (%d steps, %d observable events)\n" o.ret o.steps
           (List.length o.events);
@@ -100,33 +169,35 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a kernel in the TinyVM.")
-    Term.(const run $ bench_arg $ opt_flag $ args_opt)
+    Term.(const run $ bench_arg $ opt_flag $ args_opt $ telem_term)
 
 (* --- opt (file) ------------------------------------------------------ *)
 
 let opt_cmd =
   let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ir") in
-  let run path =
+  let run path telem =
+    with_telemetry telem @@ fun sink ->
     let src = In_channel.with_open_text path In_channel.input_all in
     let f = Miniir.Ir_parser.parse_func src in
     Miniir.Verifier.verify_exn f;
-    let r = P.apply f in
+    let r = P.apply ~telemetry:sink f in
     print_string (Ir.func_to_string r.P.fopt);
     Printf.printf "; actions: %d\n"
       (List.length (Passes.Code_mapper.actions_in_order r.P.mapper))
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Parse an IR file, run the optimization pipeline, print the result.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ telem_term)
 
 (* --- osr-points ------------------------------------------------------ *)
 
 let osr_points_cmd =
-  let run (entry : Corpus.Kernels.entry) backward =
-    let r, _ = prepare entry in
+  let run (entry : Corpus.Kernels.entry) backward telem =
+    with_telemetry telem @@ fun sink ->
+    let r, _ = prepare ~telemetry:sink entry in
     let dir = if backward then Ctx.Opt_to_base else Ctx.Base_to_opt in
     let ctx = Ctx.make ~fbase:r.P.fbase ~fopt:r.P.fopt ~mapper:r.P.mapper dir in
-    let s = F.analyze ctx in
+    let s = F.analyze ~telemetry:sink ctx in
     Printf.printf "%s, %s: %d points — %d with empty c, %d live-feasible, %d avail-feasible\n"
       entry.benchmark
       (if backward then "fopt → fbase" else "fbase → fopt")
@@ -148,7 +219,7 @@ let osr_points_cmd =
   in
   Cmd.v
     (Cmd.info "osr-points" ~doc:"Per-point OSR feasibility for a kernel.")
-    Term.(const run $ bench_arg $ backward_flag)
+    Term.(const run $ bench_arg $ backward_flag $ telem_term)
 
 (* --- osr-run --------------------------------------------------------- *)
 
@@ -163,34 +234,41 @@ let osr_run_cmd =
       value & opt int 0
       & info [ "arrival" ] ~docv:"K" ~doc:"Fire on the K-th dynamic arrival (default 0).")
   in
-  let run (entry : Corpus.Kernels.entry) backward args at arrival =
-    let r, _ = prepare entry in
+  let run (entry : Corpus.Kernels.entry) backward args at arrival telem =
+    with_telemetry telem @@ fun sink ->
+    let r, _ = prepare ~telemetry:sink entry in
     let args = if args = [] then entry.default_args else args in
     let src, target, dir =
       if backward then (r.P.fopt, r.P.fbase, Ctx.Opt_to_base)
       else (r.P.fbase, r.P.fopt, Ctx.Base_to_opt)
     in
     let ctx = Ctx.make ~fbase:r.P.fbase ~fopt:r.P.fopt ~mapper:r.P.mapper dir in
-    match Ctx.landing_point ctx at with
-    | None -> Printf.eprintf "point #%d has no landing correspondence\n" at
-    | Some landing -> (
-        match R.for_point_pair ~variant:R.Avail ctx ~src_point:at ~landing with
-        | Error x -> Printf.eprintf "reconstruction fails on %%%s\n" x
-        | Ok plan ->
-            Printf.printf "transition #%d -> #%d: %d transfers, |c|=%d, keep={%s}\n" at
-              landing (List.length plan.transfers) (R.comp_size plan)
-              (String.concat ", " plan.keep);
-            let reference = Interp.run src ~args in
-            let osr =
-              Osrir.Osr_runtime.run_transition ~arrival ~src ~args ~at ~target ~landing plan
-            in
-            Fmt.pr "reference : %a@." Interp.pp_result reference;
-            Fmt.pr "with OSR  : %a@." Interp.pp_result osr;
-            Fmt.pr "observably equal: %b@." (Interp.equal_result reference osr))
+    (* The full sweep classifies every point (and feeds the reconstruct
+       counters); the chosen point's avail plan is then looked up in it. *)
+    let s = F.analyze ~telemetry:sink ctx in
+    match List.find_opt (fun (rep : F.point_report) -> rep.point = at) s.reports with
+    | None -> Printf.eprintf "#%d is not a source program point\n" at
+    | Some { landing = None; _ } ->
+        Printf.eprintf "point #%d has no landing correspondence\n" at
+    | Some { landing = Some landing; avail_plan = None; _ } ->
+        Printf.eprintf "reconstruction fails at #%d (landing #%d); run with --remarks for why\n"
+          at landing
+    | Some { landing = Some landing; avail_plan = Some plan; _ } ->
+        Printf.printf "transition #%d -> #%d: %d transfers, |c|=%d, keep={%s}\n" at landing
+          (List.length plan.transfers) (R.comp_size plan)
+          (String.concat ", " plan.keep);
+        let reference = Interp.run src ~args in
+        let osr =
+          Osrir.Osr_runtime.run_transition ~telemetry:sink ~arrival ~src ~args ~at ~target
+            ~landing plan
+        in
+        Fmt.pr "reference : %a@." Interp.pp_result reference;
+        Fmt.pr "with OSR  : %a@." Interp.pp_result osr;
+        Fmt.pr "observably equal: %b@." (Interp.equal_result reference osr)
   in
   Cmd.v
     (Cmd.info "osr-run" ~doc:"Run a kernel, firing an OSR transition at a chosen point.")
-    Term.(const run $ bench_arg $ backward_flag $ args_opt $ at_arg $ arrival_arg)
+    Term.(const run $ bench_arg $ backward_flag $ args_opt $ at_arg $ arrival_arg $ telem_term)
 
 (* --- debug-study ------------------------------------------------------ *)
 

@@ -34,9 +34,18 @@ let apply (rule : Rewrite.Rule.t) (p : Minilang.Ast.program) : applied =
     correspondence: for every pair [(l, l')] in Δ, attempt [reconstruct] for
     all variables live at the landing point; the mapping is left undefined
     (partial) where reconstruction throws [undef]. *)
-let build_mapping ?(variant = Reconstruct.Live) ~(src : Minilang.Ast.program)
-    ~(dst : Minilang.Ast.program) (delta : delta) : Mapping.t * (int * Minilang.Ast.var list) list
-    =
+(* Mapping-construction statistics for the minilang layer (`--stats`). *)
+let stat_mapped =
+  Telemetry.counter ~group:"osr_trans" "mapped" ~desc:"point pairs with compensation built"
+
+let stat_undef =
+  Telemetry.counter ~group:"osr_trans" "undef"
+    ~desc:"point pairs where reconstruction threw undef"
+
+let build_mapping ?(variant = Reconstruct.Live) ?(telemetry = Telemetry.null)
+    ~(src : Minilang.Ast.program) ~(dst : Minilang.Ast.program) (delta : delta) :
+    Mapping.t * (int * Minilang.Ast.var list) list =
+  Telemetry.with_span telemetry ~cat:"analysis" "build_mapping" @@ fun () ->
   let ctx = Reconstruct.make_ctx src dst in
   let entries = ref [] in
   let keeps = ref [] in
@@ -46,9 +55,13 @@ let build_mapping ?(variant = Reconstruct.Live) ~(src : Minilang.Ast.program)
     | Some l' -> (
         match Reconstruct.for_point_pair ~variant ctx ~l ~l' with
         | Ok { comp; keep } ->
+            Telemetry.bump telemetry stat_mapped;
             entries := (l, { Mapping.target = l'; comp }) :: !entries;
             if keep <> [] then keeps := (l, keep) :: !keeps
-        | Error _ -> ())
+        | Error x ->
+            Telemetry.bump telemetry stat_undef;
+            Telemetry.remark telemetry ~pass:"reconstruct" ~instr:l (fun () ->
+                Printf.sprintf "point %d -> %d: variable %s defeats reconstruction" l l' x))
   done;
   (Mapping.make ~src ~dst ~strict:true (List.rev !entries), List.rev !keeps)
 

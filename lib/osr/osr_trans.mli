@@ -23,13 +23,16 @@ val apply : Rewrite.Rule.t -> Minilang.Ast.program -> applied
 
 val build_mapping :
   ?variant:Reconstruct.variant ->
+  ?telemetry:Telemetry.sink ->
   src:Minilang.Ast.program ->
   dst:Minilang.Ast.program ->
   delta ->
   Mapping.t * (int * Minilang.Ast.var list) list
 (** Build the OSR mapping along a point correspondence; the mapping is left
     undefined wherever [reconstruct] throws.  Also returns the per-point
-    keep sets ([K_avail]). *)
+    keep sets ([K_avail]).  A live [telemetry] sink receives a
+    ["build_mapping"] span, mapped/undef counters and a remark naming the
+    defeating variable for every unmapped pair. *)
 
 type result = {
   p' : Minilang.Ast.program;

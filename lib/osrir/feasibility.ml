@@ -33,17 +33,60 @@ type summary = {
   reports : point_report list;
 }
 
-let analyze ?(config = Reconstruct_ir.default_config) (t : Osr_ctx.t) : summary =
+(* Reconstruct-outcome statistics (`--stats`): how every swept point
+   classified, plus how much state the avail variant keeps alive. *)
+let stat_points = Telemetry.counter ~group:"reconstruct" "points" ~desc:"source points analyzed"
+let stat_empty = Telemetry.counter ~group:"reconstruct" "empty" ~desc:"points with c = <>"
+
+let stat_live =
+  Telemetry.counter ~group:"reconstruct" "live" ~desc:"points feasible via the live variant"
+
+let stat_avail =
+  Telemetry.counter ~group:"reconstruct" "avail"
+    ~desc:"points feasible only via the avail variant"
+
+let stat_infeasible =
+  Telemetry.counter ~group:"reconstruct" "infeasible" ~desc:"points no variant can serve"
+
+let stat_keep =
+  Telemetry.counter ~group:"reconstruct" "keep_regs"
+    ~desc:"registers kept artificially alive across avail plans"
+
+let analyze ?(config = Reconstruct_ir.default_config) ?(telemetry = Telemetry.null)
+    (t : Osr_ctx.t) : summary =
+  let fname = t.Osr_ctx.src.Osr_ctx.func.Ir.fname in
   let points = Osr_ctx.source_points t in
   let reports =
+    Telemetry.with_span telemetry ~cat:"analysis" "feasibility" @@ fun () ->
     List.map
       (fun p ->
+        Telemetry.bump telemetry stat_points;
         match Osr_ctx.landing_point t p with
         | None ->
+            Telemetry.bump telemetry stat_infeasible;
+            Telemetry.remark telemetry ~pass:"reconstruct" ~func:fname ~instr:p (fun () ->
+                Printf.sprintf "bottom at point %d: no landing correspondence" p);
             { point = p; landing = None; classification = Infeasible; live_plan = None;
               avail_plan = None }
         | Some landing -> (
             let live, avail = Reconstruct_ir.for_point_both ~config t ~src_point:p ~landing in
+            (match (live, avail) with
+            | Ok lp, _ when Reconstruct_ir.plan_is_empty lp && lp.keep = [] ->
+                Telemetry.bump telemetry stat_empty
+            | Ok _, _ -> Telemetry.bump telemetry stat_live
+            | Error _, Ok ap ->
+                Telemetry.bump telemetry stat_avail;
+                Telemetry.add telemetry stat_keep (List.length ap.Reconstruct_ir.keep);
+                Telemetry.remark telemetry ~pass:"reconstruct" ~func:fname ~instr:p
+                  (fun () ->
+                    Printf.sprintf "point %d needs avail: keep {%s} alive" p
+                      (String.concat ", " ap.Reconstruct_ir.keep))
+            | Error x, Error _ ->
+                Telemetry.bump telemetry stat_infeasible;
+                Telemetry.remark telemetry ~pass:"reconstruct" ~func:fname ~instr:p
+                  (fun () ->
+                    Printf.sprintf "bottom at point %d: %%%s unavailable in the source frame"
+                      p x));
             match (live, avail) with
             | Ok lp, _ when Reconstruct_ir.plan_is_empty lp && lp.keep = [] ->
                 {

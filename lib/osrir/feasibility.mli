@@ -23,8 +23,12 @@ type summary = {
   reports : point_report list;
 }
 
-val analyze : ?config:Reconstruct_ir.config -> Osr_ctx.t -> summary
-(** Classify every source program point of the context's direction. *)
+val analyze :
+  ?config:Reconstruct_ir.config -> ?telemetry:Telemetry.sink -> Osr_ctx.t -> summary
+(** Classify every source program point of the context's direction.  A live
+    [telemetry] sink receives a ["feasibility"] span, per-outcome counters
+    (group ["reconstruct"]) and remarks explaining infeasible and
+    avail-only points. *)
 
 val percentages : summary -> float * float * float
 (** (empty, live, avail) percentages for the Figure 7/8 stacked bars. *)

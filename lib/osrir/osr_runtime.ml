@@ -27,6 +27,14 @@ type transition_stats = {
 
 exception Transfer_failed of string
 
+(* OSR-event statistics: fired transitions and the compensation work each
+   one executes on entry (`--stats`). *)
+let stat_fired = Telemetry.counter ~group:"osr" "fired" ~desc:"OSR transitions fired"
+
+let stat_comp_instrs =
+  Telemetry.counter ~group:"osr" "comp_instrs"
+    ~desc:"compensation instructions executed across fired transitions"
+
 (* Evaluate the parameter sources in the source frame. *)
 let eval_sources (m : Interp.machine) (sources : Ir.value list) : int list =
   List.map
@@ -44,7 +52,15 @@ let eval_sources (m : Interp.machine) (sources : Ir.value list) : int list =
     source machine's memory. *)
 let fire (m : Interp.machine) (site : site) : Interp.machine =
   let args = eval_sources m site.cont.param_sources in
-  Interp.create ~memory:m.memory site.cont.fto ~args
+  Telemetry.bump m.Interp.tel stat_fired;
+  Telemetry.add m.Interp.tel stat_comp_instrs (List.length (Ir.entry site.cont.fto).body);
+  Telemetry.remark m.Interp.tel ~pass:"osr" ~func:m.Interp.func.Ir.fname ~instr:site.at
+    (fun () ->
+      Printf.sprintf "transition fired at #%d into %s (|entry comp| = %d)" site.at
+        site.cont.fto.Ir.fname
+        (List.length (Ir.entry site.cont.fto).body));
+  (* The continuation reports to the same sink as the machine it replaces. *)
+  Interp.create ~memory:m.memory ~telemetry:m.Interp.tel site.cont.fto ~args
 
 (** Run [machine], transferring control at the first armed point whose
     guard fires; continue in the continuation to completion.  Returns the
@@ -94,11 +110,11 @@ let run_with_osr ?(fuel = 10_000_000) (machine : Interp.machine) (sites : site l
 (** One-shot helper used by tests and benchmarks: run [src], transition at
     the [n]-th dynamic arrival (default first) at source point [at] into
     [target] at [landing] using [plan], and return the final result. *)
-let run_transition ?(fuel = 10_000_000) ?(arrival = 0) ~(src : Ir.func) ~(args : int list)
-    ~(at : int) ~(target : Ir.func) ~(landing : int) (plan : Reconstruct_ir.plan) :
-    (Interp.outcome, Interp.trap) result =
+let run_transition ?(fuel = 10_000_000) ?(arrival = 0) ?telemetry ~(src : Ir.func)
+    ~(args : int list) ~(at : int) ~(target : Ir.func) ~(landing : int)
+    (plan : Reconstruct_ir.plan) : (Interp.outcome, Interp.trap) result =
   let cont = Contfun.generate target ~landing plan in
-  let machine = Interp.create src ~args in
+  let machine = Interp.create ?telemetry src ~args in
   let seen = ref 0 in
   let guard (_ : Interp.machine) =
     let hit = !seen = arrival in

@@ -34,6 +34,7 @@ val run_with_osr :
 val run_transition :
   ?fuel:int ->
   ?arrival:int ->
+  ?telemetry:Telemetry.sink ->
   src:Ir.func ->
   args:int list ->
   at:int ->

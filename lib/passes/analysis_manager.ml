@@ -26,6 +26,7 @@ type analysis = Index | Dominators | Liveness | Loops
 let cfg_preserving : analysis list = [ Dominators; Loops ]
 
 type t = {
+  tel : Telemetry.sink;
   mutable func : Ir.func option;  (** the function the cache is valid for *)
   mutable index : Func_index.t option;
   mutable dom : Dom.t option;
@@ -33,7 +34,32 @@ type t = {
   mutable loops : Loops.t option;
 }
 
-let create () : t = { func = None; index = None; dom = None; live = None; loops = None }
+(* Cache statistics, one hit/miss pair per analysis plus the invalidation
+   count — the numbers behind `--stats` and the EXPERIMENTS.md cache table. *)
+let stat_hit (what : string) =
+  Telemetry.counter ~group:"am" (what ^ ".hit") ~desc:("cached " ^ what ^ " reused")
+
+let stat_miss (what : string) =
+  Telemetry.counter ~group:"am" (what ^ ".miss") ~desc:(what ^ " computed")
+
+let hit_index = stat_hit "index"
+and miss_index = stat_miss "index"
+
+let hit_dom = stat_hit "dom"
+and miss_dom = stat_miss "dom"
+
+let hit_live = stat_hit "liveness"
+and miss_live = stat_miss "liveness"
+
+let hit_loops = stat_hit "loops"
+and miss_loops = stat_miss "loops"
+
+let stat_invalidated =
+  Telemetry.counter ~group:"am" "invalidated"
+    ~desc:"cached analyses dropped after a changing pass"
+
+let create ?(telemetry = Telemetry.null) () : t =
+  { tel = telemetry; func = None; index = None; dom = None; live = None; loops = None }
 
 let clear (t : t) : unit =
   t.index <- None;
@@ -52,8 +78,11 @@ let bind (t : t) (f : Ir.func) : unit =
 let index (t : t) (f : Ir.func) : Func_index.t =
   bind t f;
   match t.index with
-  | Some i -> i
+  | Some i ->
+      Telemetry.bump t.tel hit_index;
+      i
   | None ->
+      Telemetry.bump t.tel miss_index;
       let i = Func_index.make f in
       t.index <- Some i;
       i
@@ -61,8 +90,11 @@ let index (t : t) (f : Ir.func) : Func_index.t =
 let dom (t : t) (f : Ir.func) : Dom.t =
   bind t f;
   match t.dom with
-  | Some d -> d
+  | Some d ->
+      Telemetry.bump t.tel hit_dom;
+      d
   | None ->
+      Telemetry.bump t.tel miss_dom;
       let d = Dom.compute ~index:(index t f) f in
       t.dom <- Some d;
       d
@@ -70,8 +102,11 @@ let dom (t : t) (f : Ir.func) : Dom.t =
 let liveness (t : t) (f : Ir.func) : Liveness.t =
   bind t f;
   match t.live with
-  | Some l -> l
+  | Some l ->
+      Telemetry.bump t.tel hit_live;
+      l
   | None ->
+      Telemetry.bump t.tel miss_live;
       let l = Liveness.compute ~index:(index t f) f in
       t.live <- Some l;
       l
@@ -79,8 +114,11 @@ let liveness (t : t) (f : Ir.func) : Liveness.t =
 let loops (t : t) (f : Ir.func) : Loops.t =
   bind t f;
   match t.loops with
-  | Some l -> l
+  | Some l ->
+      Telemetry.bump t.tel hit_loops;
+      l
   | None ->
+      Telemetry.bump t.tel miss_loops;
       let l = Loops.compute ~index:(index t f) ~dom:(dom t f) f in
       t.loops <- Some l;
       l
@@ -105,7 +143,15 @@ let loops_of ?(am : t option) (f : Ir.func) : Loops.t =
     manager after a pass reports it changed the function. *)
 let invalidate ?(preserved : analysis list = []) (t : t) : unit =
   let keep a = List.mem a preserved in
-  if not (keep Index) then t.index <- None;
-  if not (keep Dominators) then t.dom <- None;
-  if not (keep Liveness) then t.live <- None;
-  if not (keep Loops) then t.loops <- None
+  let drop : 'a. 'a option -> 'a option =
+   fun cached ->
+    match cached with
+    | Some _ ->
+        Telemetry.bump t.tel stat_invalidated;
+        None
+    | None -> None
+  in
+  if not (keep Index) then t.index <- drop t.index;
+  if not (keep Dominators) then t.dom <- drop t.dom;
+  if not (keep Liveness) then t.live <- drop t.live;
+  if not (keep Loops) then t.loops <- drop t.loops

@@ -30,7 +30,21 @@ let action_kind = function
   | Sink _ -> `Sink
   | Replace _ -> `Replace
 
+(* Statistics for Table 1/2 consumers and `--stats`: one counter per
+   primitive action kind (the LLVM Statistic analogue). *)
+let stat_add = Telemetry.counter ~group:"mapper" "add" ~desc:"instructions inserted"
+let stat_delete = Telemetry.counter ~group:"mapper" "delete" ~desc:"instructions removed"
+
+let stat_hoist =
+  Telemetry.counter ~group:"mapper" "hoist" ~desc:"instructions moved against CFG order"
+
+let stat_sink =
+  Telemetry.counter ~group:"mapper" "sink" ~desc:"instructions moved along CFG order"
+
+let stat_replace = Telemetry.counter ~group:"mapper" "replace" ~desc:"operand uses rewritten"
+
 type t = {
+  tel : Telemetry.sink;  (** where action statistics and pass remarks go *)
   mutable actions : action list;  (** most recent first *)
   deleted : (int, unit) Hashtbl.t;
   added : (int, unit) Hashtbl.t;
@@ -45,8 +59,9 @@ type t = {
           dropped whenever [repl_fwd] gains an entry. *)
 }
 
-let create () : t =
+let create ?(telemetry = Telemetry.null) () : t =
   {
+    tel = telemetry;
     actions = [];
     deleted = Hashtbl.create 32;
     added = Hashtbl.create 16;
@@ -57,17 +72,24 @@ let create () : t =
 
 let record (m : t) (a : action) : unit = m.actions <- a :: m.actions
 
+(** The sink this mapper reports to — how passes, which already receive the
+    mapper, reach telemetry without a signature change. *)
+let telemetry (m : t) : Telemetry.sink = m.tel
+
 (* --- recording API used by the passes ------------------------------- *)
 
 let add_instr (m : t) (i : Ir.instr) ~(block : string) : unit =
+  Telemetry.bump m.tel stat_add;
   Hashtbl.replace m.added i.id ();
   record m (Add { id = i.id; block })
 
 let delete_instr (m : t) (i : Ir.instr) : unit =
+  Telemetry.bump m.tel stat_delete;
   Hashtbl.replace m.deleted i.id ();
   record m (Delete { id = i.id })
 
 let hoist_instr (m : t) (i : Ir.instr) ~(from_block : string) ~(to_block : string) : unit =
+  Telemetry.bump m.tel stat_hoist;
   let orig =
     match Hashtbl.find_opt m.moved i.id with Some (o, _) -> o | None -> from_block
   in
@@ -75,6 +97,7 @@ let hoist_instr (m : t) (i : Ir.instr) ~(from_block : string) ~(to_block : strin
   record m (Hoist { id = i.id; from_block; to_block })
 
 let sink_instr (m : t) (i : Ir.instr) ~(from_block : string) ~(to_block : string) : unit =
+  Telemetry.bump m.tel stat_sink;
   let orig =
     match Hashtbl.find_opt m.moved i.id with Some (o, _) -> o | None -> from_block
   in
@@ -82,6 +105,7 @@ let sink_instr (m : t) (i : Ir.instr) ~(from_block : string) ~(to_block : string
   record m (Sink { id = i.id; from_block; to_block })
 
 let replace_all_uses (m : t) ~(old_value : Ir.value) ~(new_value : Ir.value) : unit =
+  Telemetry.bump m.tel stat_replace;
   (match old_value with
   | Ir.Reg r ->
       Hashtbl.replace m.repl_fwd r new_value;
@@ -91,6 +115,7 @@ let replace_all_uses (m : t) ~(old_value : Ir.value) ~(new_value : Ir.value) : u
 
 let replace_use_in (m : t) ~(inst : Ir.instr) ~(old_value : Ir.value) ~(new_value : Ir.value) :
     unit =
+  Telemetry.bump m.tel stat_replace;
   record m (Replace { old_value; new_value; inst = Some inst.id })
 
 (* --- queries used by the OSR layer ---------------------------------- *)

@@ -6,8 +6,14 @@ open Import
     the folding.  OSR-aware: every deletion and use-rewrite is recorded in
     the CodeMapper. *)
 
+let stat_folded = Telemetry.counter ~group:"cp" "folded" ~desc:"constant instructions folded"
+
+let stat_phi =
+  Telemetry.counter ~group:"cp" "phi" ~desc:"single-value phi-nodes simplified"
+
 let run ?(mapper : Code_mapper.t option) ?am:(_ : Analysis_manager.t option)
     (f : Ir.func) : bool =
+  let tel = match mapper with Some m -> Code_mapper.telemetry m | None -> Telemetry.null in
   let changed = ref false in
   let continue_ = ref true in
   while !continue_ do
@@ -23,6 +29,9 @@ let run ?(mapper : Code_mapper.t option) ?am:(_ : Analysis_manager.t option)
           let old_value = Ir.Reg r and new_value = Ir.Const n in
           Option.iter (fun m -> Code_mapper.replace_all_uses m ~old_value ~new_value) mapper;
           Option.iter (fun m -> Code_mapper.delete_instr m i) mapper;
+          Telemetry.bump tel stat_folded;
+          Telemetry.remark tel ~pass:"CP" ~func:f.fname ~block:b.label ~instr:i.id
+            (fun () -> Printf.sprintf "folded %%%s to %d" r n);
           (* Rewrite all uses, then remove the instruction. *)
           let subst v = if Ir.equal_value v old_value then new_value else v in
           List.iter
@@ -49,6 +58,10 @@ let run ?(mapper : Code_mapper.t option) ?am:(_ : Analysis_manager.t option)
             (fun m -> Code_mapper.replace_all_uses m ~old_value ~new_value:v0)
             mapper;
           Option.iter (fun m -> Code_mapper.delete_instr m i) mapper;
+          Telemetry.bump tel stat_phi;
+          Telemetry.remark tel ~pass:"CP" ~func:f.fname ~block:b.label ~instr:i.id
+            (fun () ->
+              Printf.sprintf "phi %%%s collapsed to %s" r (Ir.value_to_string v0));
           let subst v = if Ir.equal_value v old_value then v0 else v in
           List.iter
             (fun (b' : Ir.block) ->

@@ -40,8 +40,12 @@ let rhs_key (rhs : Ir.rhs) : string option =
         (Printf.sprintf "call %s %s" name (String.concat " " (List.map Ir.value_to_string args)))
   | Ir.Call _ | Ir.Alloca _ | Ir.Load _ | Ir.Store _ | Ir.Phi _ -> None
 
+let stat_expr = Telemetry.counter ~group:"cse" "expr" ~desc:"redundant pure expressions eliminated"
+let stat_load = Telemetry.counter ~group:"cse" "load" ~desc:"redundant loads forwarded"
+
 let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : Ir.func) :
     bool =
+  let tel = match mapper with Some m -> Code_mapper.telemetry m | None -> Telemetry.null in
   let changed = ref false in
   let dom = Analysis_manager.dom_of ?am f in
   let children = Mem2reg.dom_children dom in
@@ -87,6 +91,10 @@ let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : 
                       Code_mapper.replace_all_uses m ~old_value:(Ir.Reg r) ~new_value:v;
                       Code_mapper.delete_instr m i)
                     mapper;
+                  Telemetry.bump tel stat_load;
+                  Telemetry.remark tel ~pass:"CSE" ~func:f.fname ~block:label ~instr:i.id
+                    (fun () ->
+                      Printf.sprintf "forwarded load %%%s from %s" r (Ir.value_to_string v));
                   replace_everywhere (Ir.Reg r) v;
                   changed := true;
                   false
@@ -104,6 +112,10 @@ let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : 
                           Code_mapper.replace_all_uses m ~old_value:(Ir.Reg r) ~new_value:v;
                           Code_mapper.delete_instr m i)
                         mapper;
+                      Telemetry.bump tel stat_expr;
+                      Telemetry.remark tel ~pass:"CSE" ~func:f.fname ~block:label ~instr:i.id
+                        (fun () ->
+                          Printf.sprintf "%%%s subsumed by %s" r (Ir.value_to_string v));
                       replace_everywhere (Ir.Reg r) v;
                       changed := true;
                       false

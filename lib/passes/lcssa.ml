@@ -94,6 +94,10 @@ let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : 
                             in
                             let phi_reg = Option.get phi.result in
                             eb.phis <- eb.phis @ [ phi ];
+                            (* The φ alone already mutates the function, even
+                               if no outside use ends up rewritten below —
+                               report the change or cached analyses go stale. *)
+                            changed := true;
                             Option.iter
                               (fun m -> Code_mapper.add_instr m phi ~block:exit_label)
                               mapper;

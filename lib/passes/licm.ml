@@ -14,8 +14,12 @@ open Import
 
     OSR-aware: every motion is recorded as a [hoist] action. *)
 
+let stat_hoisted =
+  Telemetry.counter ~group:"licm" "hoisted" ~desc:"loop-invariant instructions moved to preheaders"
+
 let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : Ir.func) :
     bool =
+  let tel = match mapper with Some m -> Code_mapper.telemetry m | None -> Telemetry.null in
   let changed = ref false in
   let loop_info = Analysis_manager.loops_of ?am f in
   let index = Analysis_manager.index_of ?am f in
@@ -97,6 +101,12 @@ let run ?(mapper : Code_mapper.t option) ?(am : Analysis_manager.t option) (f : 
                           (match i.result with
                           | Some r -> Hashtbl.replace hoisted r ()
                           | None -> ());
+                          Telemetry.bump tel stat_hoisted;
+                          Telemetry.remark tel ~pass:"LICM" ~func:f.fname ~block:label
+                            ~instr:i.id (fun () ->
+                              Printf.sprintf "hoisted %s from loop %s to preheader %s"
+                                (match i.result with Some r -> "%" ^ r | None -> "#" ^ string_of_int i.id)
+                                l.header ph_label);
                           Option.iter
                             (fun m ->
                               Code_mapper.hoist_instr m i ~from_block:label ~to_block:ph_label)

@@ -75,16 +75,22 @@ type apply_result = {
 exception Verification_failed of string * string  (** pass name, details *)
 
 (** Clone [f] and optimize the clone with [pipeline], recording actions.
-    The SSA verifier runs after every pass; a failure names the culprit. *)
-let apply ?(pipeline = standard_pipeline) ?(verify = true) (f : Ir.func) : apply_result =
+    The SSA verifier runs after every pass; a failure names the culprit.
+    With a live [telemetry] sink each pass runs under a span named after
+    it (the [-time-passes] rows), the verifier under ["verify"], and the
+    mapper/analysis-manager statistics accumulate. *)
+let apply ?(pipeline = standard_pipeline) ?(verify = true)
+    ?(telemetry = Telemetry.null) (f : Ir.func) : apply_result =
   let fopt = Ir.clone_func f in
-  let mapper = Code_mapper.create () in
-  let am = Analysis_manager.create () in
+  let mapper = Code_mapper.create ~telemetry () in
+  let am = Analysis_manager.create ~telemetry () in
   let per_pass = ref [] in
   List.iter
     (fun (p : pass) ->
       let before = Code_mapper.counts mapper in
-      let changed = p.run ~mapper ~am fopt in
+      let changed =
+        Telemetry.with_span telemetry ~cat:"pass" p.pname (fun () -> p.run ~mapper ~am fopt)
+      in
       if changed then Analysis_manager.invalidate ~preserved:p.preserves am;
       let after = Code_mapper.counts mapper in
       let delta : Code_mapper.counts =
@@ -98,7 +104,7 @@ let apply ?(pipeline = standard_pipeline) ?(verify = true) (f : Ir.func) : apply
       in
       per_pass := (p.pname, delta) :: !per_pass;
       if verify then
-        match Verifier.verify fopt with
+        match Telemetry.with_span telemetry ~cat:"verify" "verify" (fun () -> Verifier.verify fopt) with
         | Ok () -> ()
         | Error es ->
             raise

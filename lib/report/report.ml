@@ -5,9 +5,18 @@
 let hr width = String.make width '-'
 
 (** Render an aligned table.  The first row of [rows] may be separated from
-    the rest with a rule when [header] is given. *)
+    the rest with a rule when [header] is given.
+    @raise Invalid_argument on a row with more cells than the header: a
+    ragged row would silently misalign the rule width, so reject it loudly. *)
 let table ?(title = "") ~(header : string list) (rows : string list list) : string =
   let cols = List.length header in
+  List.iteri
+    (fun r row ->
+      let n = List.length row in
+      if n > cols then
+        invalid_arg
+          (Printf.sprintf "Report.table: row %d has %d cells but the header has %d" r n cols))
+    rows;
   let widths = Array.make cols 0 in
   List.iteri (fun i h -> widths.(i) <- String.length h) header;
   List.iter
@@ -35,9 +44,12 @@ let table ?(title = "") ~(header : string list) (rows : string list list) : stri
 (** Horizontal stacked percentage bars, one per labelled entry.  Segments
     are (glyph, percentage-of-total) pairs; percentages are cumulative in
     the input (e.g. 10, 60, 95 renders three nested extents), matching the
-    paper's stacked "c=⟨⟩ / live / avail" bars. *)
+    paper's stacked "c=⟨⟩ / live / avail" bars.  No entries, no output: an
+    empty chart renders as [""] rather than a bare title. *)
 let stacked_bars ?(title = "") ?(width = 50) (entries : (string * (char * float) list) list) :
     string =
+  if entries = [] then ""
+  else begin
   let label_w =
     List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
   in
@@ -63,6 +75,7 @@ let stacked_bars ?(title = "") ?(width = 50) (entries : (string * (char * float)
         (Printf.sprintf "%-*s |%s| %s\n" label_w label (Bytes.to_string bar) pcts))
     entries;
   Buffer.contents buf
+  end
 
 (** Simple labelled horizontal bars on a 0..1 scale (Figure 9 style). *)
 let ratio_bars ?(title = "") ?(width = 40) (entries : (string * (string * float) list) list) :

@@ -1,0 +1,195 @@
+(** A minimal JSON reader, just big enough to validate the artifacts this
+    library emits (Chrome traces, counter dumps, benchmark records) without
+    pulling a JSON dependency into the build.  Accepts strict JSON; numbers
+    are held as floats (all our payloads fit). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string * int  (** message, byte offset *)
+
+type cursor = { src : string; mutable pos : int }
+
+let error (c : cursor) (msg : string) = raise (Parse_error (msg, c.pos))
+let peek (c : cursor) : char option = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance (c : cursor) : unit = c.pos <- c.pos + 1
+
+let rec skip_ws (c : cursor) : unit =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | Some _ | None -> ()
+
+let expect (c : cursor) (ch : char) : unit =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> error c (Printf.sprintf "expected %C, found %C" ch x)
+  | None -> error c (Printf.sprintf "expected %C, found end of input" ch)
+
+let literal (c : cursor) (word : string) (v : t) : t =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else error c (Printf.sprintf "expected %s" word)
+
+let parse_string_body (c : cursor) : string =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> error c "unterminated escape"
+        | Some esc ->
+            advance c;
+            (match esc with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if c.pos + 4 > String.length c.src then error c "truncated \\u escape";
+                let hex = String.sub c.src c.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> error c (Printf.sprintf "bad \\u escape %S" hex)
+                in
+                c.pos <- c.pos + 4;
+                (* Non-ASCII escapes survive as '?': validation only. *)
+                Buffer.add_char buf (if code < 128 then Char.chr code else '?')
+            | _ -> error c (Printf.sprintf "bad escape \\%C" esc));
+            go ())
+    | Some ch when Char.code ch < 0x20 -> error c "raw control character in string"
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number (c : cursor) : t =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> error c (Printf.sprintf "bad number %S" s)
+
+let rec parse_value (c : cursor) : t =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws c;
+          expect c '"';
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance c;
+              Obj (List.rev ((key, v) :: acc))
+          | _ -> error c "expected ',' or '}' in object"
+        in
+        members []
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        Arr []
+      end
+      else
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements (v :: acc)
+          | Some ']' ->
+              advance c;
+              Arr (List.rev (v :: acc))
+          | _ -> error c "expected ',' or ']' in array"
+        in
+        elements []
+  | Some '"' ->
+      advance c;
+      Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse (s : string) : (t, string) result =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos = String.length s then Ok v
+      else Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+  | exception Parse_error (msg, pos) -> Error (Printf.sprintf "%s at offset %d" msg pos)
+
+(* --- accessors used by validators ----------------------------------- *)
+
+let member (key : string) (j : t) : t option =
+  match j with Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_list (j : t) : t list option = match j with Arr xs -> Some xs | _ -> None
+let to_string (j : t) : string option = match j with Str s -> Some s | _ -> None
+let to_float (j : t) : float option = match j with Num f -> Some f | _ -> None
+
+(* --- escaping shared with the writers -------------------------------- *)
+
+(** Escape a string for embedding in a JSON document (quotes included). *)
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf

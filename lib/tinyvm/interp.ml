@@ -57,7 +57,19 @@ type machine = {
   mutable status : status;
   mutable steps : int;
   mutable events : event list;  (** reversed *)
+  tel : Telemetry.sink;
 }
+
+(* VM statistics (`--stats`): executed steps, observable events, completed
+   and aborted activations.  A disabled sink reduces each bump to one
+   branch, keeping the step loop at full speed. *)
+let stat_steps = Telemetry.counter ~group:"interp" "steps" ~desc:"instructions executed"
+
+let stat_events =
+  Telemetry.counter ~group:"interp" "events" ~desc:"observable intrinsic calls"
+
+let stat_returns = Telemetry.counter ~group:"interp" "returns" ~desc:"activations returned"
+let stat_traps = Telemetry.counter ~group:"interp" "traps" ~desc:"activations trapped"
 
 exception Trap of trap
 
@@ -106,6 +118,7 @@ let exec_intrinsic (m : machine) ~(at : int) (name : string) (args : int list) :
   else
     match name with
     | "print" | "emit" | "checkpoint" ->
+        Telemetry.bump m.tel stat_events;
         m.events <- { callee = name; arg_values = args } :: m.events;
         0
     | "read_seed" -> (
@@ -145,6 +158,7 @@ let step (m : machine) : status =
   | Returned _ | Trapped _ -> m.status
   | Running -> (
       m.steps <- m.steps + 1;
+      Telemetry.bump m.tel stat_steps;
       try
         if m.idx < List.length m.cur_block.body then begin
           let i = List.nth m.cur_block.body m.idx in
@@ -166,12 +180,15 @@ let step (m : machine) : status =
               match Ir.find_block m.func l with
               | Some b -> enter_block m ~pred:m.cur_block.label b
               | None -> raise (Trap (No_such_block l)))
-          | Ir.Ret v -> m.status <- Returned (read m ~at:m.cur_block.term_id v)
+          | Ir.Ret v ->
+              m.status <- Returned (read m ~at:m.cur_block.term_id v);
+              Telemetry.bump m.tel stat_returns
           | Ir.Unreachable -> raise (Trap (Unreachable_reached m.cur_block.label)));
           m.status
         end
       with Trap t ->
         m.status <- Trapped t;
+        Telemetry.bump m.tel stat_traps;
         m.status)
 
 (** The id of the instruction (or terminator) the machine will execute
@@ -184,7 +201,8 @@ let next_instr_id (m : machine) : int option =
         Some (List.nth m.cur_block.body m.idx).id
       else Some m.cur_block.term_id
 
-let create ?(memory : memory option) (f : Ir.func) ~(args : int list) : machine =
+let create ?(memory : memory option) ?(telemetry = Telemetry.null) (f : Ir.func)
+    ~(args : int list) : machine =
   if List.length args <> List.length f.params then raise (Trap (Bad_arity f.fname));
   let frame = Hashtbl.create 32 in
   List.iter2 (fun p a -> Hashtbl.replace frame p a) f.params args;
@@ -197,6 +215,7 @@ let create ?(memory : memory option) (f : Ir.func) ~(args : int list) : machine 
     status = Running;
     steps = 0;
     events = [];
+    tel = telemetry;
   }
 
 exception Out_of_fuel
@@ -214,8 +233,8 @@ let run_machine ?(fuel = 10_000_000) (m : machine) : (outcome, trap) result =
   go fuel
 
 (** Convenience one-shot execution. *)
-let run ?fuel ?memory (f : Ir.func) ~(args : int list) : (outcome, trap) result =
-  match create ?memory f ~args with
+let run ?fuel ?memory ?telemetry (f : Ir.func) ~(args : int list) : (outcome, trap) result =
+  match create ?memory ?telemetry f ~args with
   | m -> run_machine ?fuel m
   | exception Trap t -> Error t
 

@@ -47,14 +47,17 @@ type machine = {
   mutable status : status;
   mutable steps : int;
   mutable events : event list;  (** reversed *)
+  tel : Telemetry.sink;  (** step / event / trap statistics go here *)
 }
 
 exception Trap of trap
 exception Out_of_fuel
 
-val create : ?memory:memory -> Ir.func -> args:int list -> machine
+val create : ?memory:memory -> ?telemetry:Telemetry.sink -> Ir.func -> args:int list -> machine
 (** Fresh machine at the function's entry.  Passing [memory] shares state
     with another machine — how OSR transitions keep the store invariant.
+    [telemetry] (default {!Telemetry.null}) receives step, event and trap
+    counters.
     @raise Trap on an argument-count mismatch *)
 
 val step : machine -> status
@@ -68,7 +71,13 @@ val run_machine : ?fuel:int -> machine -> (outcome, trap) result
 (** Run to completion.
     @raise Out_of_fuel past the step budget *)
 
-val run : ?fuel:int -> ?memory:memory -> Ir.func -> args:int list -> (outcome, trap) result
+val run :
+  ?fuel:int ->
+  ?memory:memory ->
+  ?telemetry:Telemetry.sink ->
+  Ir.func ->
+  args:int list ->
+  (outcome, trap) result
 (** One-shot execution. *)
 
 val run_to_point : ?fuel:int -> ?skip:int -> machine -> point:int -> machine option

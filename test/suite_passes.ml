@@ -498,6 +498,58 @@ let prop_pipeline =
             (Interp.run ~fuel:1_000_000 r.fopt ~args))
         (args :: Gen_ir.sample_args))
 
+(* ---------------- analysis-manager invalidation differential ------- *)
+
+module AM = Passes.Analysis_manager
+module Dom = Miniir.Dom
+module Liveness = Miniir.Liveness
+
+let dom_equal (f : Ir.func) (a : Dom.t) (b : Dom.t) : bool =
+  List.for_all
+    (fun (blk : Ir.block) ->
+      Dom.reachable a blk.label = Dom.reachable b blk.label
+      && Dom.idom_of a blk.label = Dom.idom_of b blk.label)
+    f.blocks
+
+let live_equal (f : Ir.func) (a : Liveness.t) (b : Liveness.t) : bool =
+  List.for_all
+    (fun (blk : Ir.block) ->
+      Liveness.live_out_of a blk.label = Liveness.live_out_of b blk.label)
+    f.blocks
+  && List.for_all
+       (fun (i : Ir.instr) -> Liveness.live_at a i.id = Liveness.live_at b i.id)
+       (Ir.all_instrs f)
+
+(* Populate the caches before each pass, then run the pass and the same
+   invalidation the pass manager performs: any analysis still cached
+   afterwards must agree with a fresh computation — i.e. the [preserves]
+   declarations are honest and "no change" reports really mean no change. *)
+let prop_am_caches_fresh =
+  QCheck.Test.make ~count:40 ~name:"cached dom/liveness stay equal to fresh computation"
+    Gen_ir.arb_func (fun f0 ->
+      let f = P.to_fbase f0 in
+      let g = Ir.clone_func f in
+      let mapper = CM.create () in
+      let am = AM.create () in
+      List.iter
+        (fun (p : P.pass) ->
+          ignore (AM.dom am g : Dom.t);
+          ignore (AM.liveness am g : Liveness.t);
+          let changed = p.run ~mapper ~am g in
+          if changed then AM.invalidate ~preserved:p.preserves am;
+          (match am.AM.dom with
+          | Some d when not (dom_equal g d (Dom.compute g)) ->
+              QCheck.Test.fail_reportf "stale dominators after %s@.%s" p.pname
+                (Ir.func_to_string g)
+          | Some _ | None -> ());
+          match am.AM.live with
+          | Some l when not (live_equal g l (Liveness.compute g)) ->
+              QCheck.Test.fail_reportf "stale liveness after %s@.%s" p.pname
+                (Ir.func_to_string g)
+          | Some _ | None -> ())
+        P.standard_pipeline;
+      true)
+
 let prop_pipeline_idempotent_ids =
   QCheck.Test.make ~count:40 ~name:"surviving instructions keep their ids"
     Gen_ir.arb_func (fun f0 ->
@@ -545,4 +597,5 @@ let suite =
       q prop_licm;
       q prop_pipeline;
       q prop_pipeline_idempotent_ids;
+      q prop_am_caches_fresh;
     ] )

@@ -23,6 +23,19 @@ let test_table_title () =
   Alcotest.(check bool) "title present" true
     (String.length out > 8 && String.sub out 0 8 = "My Title")
 
+let test_table_rejects_ragged_rows () =
+  (* A row wider than the header used to crash deep inside the renderer
+     (and narrower ones silently misaligned the rule); now it raises with
+     a message naming the row. *)
+  Alcotest.check_raises "ragged row raises"
+    (Invalid_argument "Report.table: row 1 has 3 cells but the header has 2")
+    (fun () ->
+      ignore (Report.table ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "1"; "2"; "3" ] ] : string))
+
+let test_stacked_bars_empty () =
+  Alcotest.(check string) "no entries, no output (even with a title)" ""
+    (Report.stacked_bars ~title:"ghost chart" [])
+
 let test_stacked_bars_nesting () =
   let out =
     Report.stacked_bars ~width:10 [ ("k", [ ('.', 20.0); ('#', 50.0); ('+', 100.0) ]) ]
@@ -69,6 +82,8 @@ let suite =
     [
       t "table alignment" test_table_alignment;
       t "table title" test_table_title;
+      t "table rejects ragged rows" test_table_rejects_ragged_rows;
+      t "stacked bars with no entries" test_stacked_bars_empty;
       t "stacked bars nesting" test_stacked_bars_nesting;
       t "stacked bars clamping" test_stacked_bars_clamping;
       t "ratio bars" test_ratio_bars;

@@ -12,4 +12,5 @@ let () =
       Suite_corpus.suite;
       Suite_debuginfo.suite;
       Suite_report.suite;
+      Suite_telemetry.suite;
     ]
