@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-smoke perf clean
+.PHONY: all build test fmt bench bench-smoke perf perf-interp clean
 
 all: build
 
@@ -26,6 +26,10 @@ bench-smoke:
 # Feasibility-sweep timing + BENCH_feasibility.json + Chrome trace.
 perf:
 	dune exec bench/main.exe -- perf --trace-out trace.json
+
+# Engine timing (reference vs compiled TinyVM) + BENCH_interp.json.
+perf-interp:
+	dune exec bench/main.exe -- interp
 
 clean:
 	dune clean

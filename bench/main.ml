@@ -482,6 +482,181 @@ let sweep_perf ?trace_out () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Engine timing: reference interpreter vs compiled TinyVM              *)
+(* ------------------------------------------------------------------ *)
+
+(* Pre-PR baseline of the SEED tree-walking interpreter on this corpus,
+   measured with a throwaway probe at the seed commit (before the per-block
+   body-array fix and the compiled engine).  [plain] runs fbase and fopt of
+   every kernel to completion on the default args; [armed] runs fbase with
+   every source program point armed through [Osr_runtime.run_with_osr] with
+   a never-firing guard and a real generated continuation.  Best of three,
+   kept here so every perf run reports the speedup against the seed and
+   BENCH_interp.json records both numbers. *)
+let baseline_interp_wall_s = 0.080917 (* 377020 steps, seed commit, best of 3 *)
+let baseline_interp_steps = 377_020
+let baseline_armed_wall_s = 0.160517 (* 201821 steps, 12 kernels armed *)
+let baseline_armed_steps = 201_821
+
+type interp_workloads = {
+  iw_plain : (Ir.func * int list) list;  (** fbase and fopt of every kernel *)
+  iw_armed : (Ir.func * int list * int list * Osrir.Contfun.t) list;
+      (** fbase, args, source points to arm, generated continuation *)
+}
+
+let interp_workloads (kds : kernel_data list) : interp_workloads =
+  let iw_plain =
+    List.concat_map
+      (fun kd -> [ (kd.fbase, kd.entry.default_args); (kd.fopt, kd.entry.default_args) ])
+      kds
+  in
+  let iw_armed =
+    List.filter_map
+      (fun kd ->
+        let ctx = Ctx.make ~fbase:kd.fbase ~fopt:kd.fopt ~mapper:kd.mapper Ctx.Base_to_opt in
+        let s = F.analyze ctx in
+        List.find_map
+          (fun (rep : F.point_report) ->
+            match (rep.F.landing, rep.F.avail_plan) with
+            | Some landing, Some plan -> Some (landing, plan)
+            | _ -> None)
+          s.F.reports
+        |> Option.map (fun (landing, plan) ->
+               let cont = Osrir.Contfun.generate kd.fopt ~landing plan in
+               (kd.fbase, kd.entry.default_args, Ctx.source_points ctx, cont)))
+      kds
+  in
+  { iw_plain; iw_armed }
+
+(* The runners return total executed steps (a correctness cross-check: both
+   engines and the seed baseline must agree), and are closed over any
+   per-engine setup so the timed region is execution only — mirroring the
+   seed probe, which also built its site lists up front.  Machine creation
+   (and, for the compiled engine, compilation) stays inside the timed
+   region: that is the end-to-end cost a client pays per activation. *)
+let plain_runner (module E : Tinyvm.Engine.S) (w : interp_workloads) : unit -> int =
+ fun () ->
+  List.fold_left
+    (fun acc (f, args) ->
+      match E.run ~fuel:50_000_000 f ~args with
+      | Ok o -> acc + o.Interp.steps
+      | Error _ -> acc)
+    0 w.iw_plain
+
+let armed_runner (module E : Tinyvm.Engine.S) (w : interp_workloads) : unit -> int =
+  let module Rt = Osrir.Osr_runtime.Make (E) in
+  let prepared =
+    List.map
+      (fun (fbase, args, points, cont) ->
+        let sites =
+          List.map
+            (fun p -> { Osrir.Osr_runtime.at = p; guard = (fun _ -> false); cont })
+            points
+        in
+        (fbase, args, sites))
+      w.iw_armed
+  in
+  fun () ->
+    List.fold_left
+      (fun acc (fbase, args, sites) ->
+        let m = E.create fbase ~args in
+        match fst (Rt.run_with_osr ~fuel:50_000_000 m sites) with
+        | Ok o -> acc + o.Interp.steps
+        | Error _ -> acc)
+      0 prepared
+
+(** One warm-up run, then best of three. *)
+let best_of_3 (f : unit -> int) : int * float =
+  ignore (f () : int);
+  let time () =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let runs = List.init 3 (fun _ -> time ()) in
+  (fst (List.hd runs), List.fold_left (fun a (_, t) -> min a t) infinity runs)
+
+type engine_meas = {
+  em_name : string;
+  em_plain_steps : int;
+  em_plain_wall : float;
+  em_armed_steps : int;
+  em_armed_wall : float;
+}
+
+let measure_engine (e : (module Tinyvm.Engine.S)) (w : interp_workloads) : engine_meas =
+  let (module E) = e in
+  let em_plain_steps, em_plain_wall = best_of_3 (plain_runner e w) in
+  let em_armed_steps, em_armed_wall = best_of_3 (armed_runner e w) in
+  { em_name = E.name; em_plain_steps; em_plain_wall; em_armed_steps; em_armed_wall }
+
+let write_interp_json path (engines : engine_meas list) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc
+    "  \"benchmark\": \"corpus kernel execution: reference vs compiled engine\",\n";
+  Printf.fprintf oc "  \"baseline\": {\n";
+  Printf.fprintf oc "    \"plain\": { \"wall_s\": %.6f, \"steps\": %d },\n" baseline_interp_wall_s
+    baseline_interp_steps;
+  Printf.fprintf oc "    \"armed\": { \"wall_s\": %.6f, \"steps\": %d }\n" baseline_armed_wall_s
+    baseline_armed_steps;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"engines\": [\n";
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc "    { \"name\": \"%s\",\n" e.em_name;
+      Printf.fprintf oc
+        "      \"plain\": { \"wall_s\": %.6f, \"steps\": %d, \"speedup_vs_seed\": %.3f },\n"
+        e.em_plain_wall e.em_plain_steps
+        (baseline_interp_wall_s /. e.em_plain_wall);
+      Printf.fprintf oc
+        "      \"armed\": { \"wall_s\": %.6f, \"steps\": %d, \"speedup_vs_seed\": %.3f } }%s\n"
+        e.em_armed_wall e.em_armed_steps
+        (baseline_armed_wall_s /. e.em_armed_wall)
+        (if i = List.length engines - 1 then "" else ","))
+    engines;
+  Printf.fprintf oc "  ],\n";
+  (* The headline number: compiled-engine plain execution vs the seed
+     interpreter. *)
+  let compiled = List.find (fun e -> e.em_name = "compiled") engines in
+  Printf.fprintf oc "  \"speedup\": %.3f\n" (baseline_interp_wall_s /. compiled.em_plain_wall);
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let interp_perf () =
+  let w = interp_workloads (Lazy.force kernel_data) in
+  let engines = List.map (fun e -> measure_engine e w) Tinyvm.Engine.all in
+  print_endline "Engine timing (corpus kernels, best of 3; seed* = recorded baseline):";
+  Printf.printf "  %-8s %-10s %10s %12s %11s %9s\n" "workload" "engine" "steps" "wall (ms)"
+    "Msteps/s" "vs seed";
+  let row workload name steps wall base =
+    Printf.printf "  %-8s %-10s %10d %12.2f %11.2f %8.2fx\n" workload name steps
+      (1000.0 *. wall)
+      (float_of_int steps /. wall /. 1e6)
+      (base /. wall)
+  in
+  row "plain" "seed*" baseline_interp_steps baseline_interp_wall_s baseline_interp_wall_s;
+  List.iter
+    (fun e -> row "plain" e.em_name e.em_plain_steps e.em_plain_wall baseline_interp_wall_s)
+    engines;
+  row "armed" "seed*" baseline_armed_steps baseline_armed_wall_s baseline_armed_wall_s;
+  List.iter
+    (fun e -> row "armed" e.em_name e.em_armed_steps e.em_armed_wall baseline_armed_wall_s)
+    engines;
+  List.iter
+    (fun e ->
+      if e.em_plain_steps <> baseline_interp_steps then
+        Printf.printf "  WARNING: %s plain steps %d <> seed %d\n" e.em_name e.em_plain_steps
+          baseline_interp_steps;
+      if e.em_armed_steps <> baseline_armed_steps then
+        Printf.printf "  WARNING: %s armed steps %d <> seed %d\n" e.em_name e.em_armed_steps
+          baseline_armed_steps)
+    engines;
+  write_interp_json "BENCH_interp.json" engines;
+  print_endline "  wrote BENCH_interp.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Smoke check (wired into `dune runtest`; also `make bench-smoke`)     *)
 (* ------------------------------------------------------------------ *)
 
@@ -528,11 +703,56 @@ let smoke () =
   | Error e -> fail "counters JSON unparseable: %s" e
   | Ok _ -> ());
   if Telemetry.nonzero_counters () = [] then fail "no counters bumped";
-  Printf.printf "bench smoke OK: %d kernels, %d points, %d trace events, %d nonzero counters\n"
+  (* The interp-bench path: one untimed run of both workloads on both
+     engines over the two kernels — the engines must agree on total steps —
+     then the JSON the [interp] mode commits must be loadable. *)
+  let w = interp_workloads kds in
+  if w.iw_armed = [] then fail "no kernel could arm its OSR sites";
+  let engines =
+    List.map
+      (fun e ->
+        let (module E : Tinyvm.Engine.S) = e in
+        {
+          em_name = E.name;
+          em_plain_steps = plain_runner e w ();
+          em_plain_wall = 1.0;
+          em_armed_steps = armed_runner e w ();
+          em_armed_wall = 1.0;
+        })
+      Tinyvm.Engine.all
+  in
+  (match engines with
+  | [ a; b ] ->
+      if a.em_plain_steps <= 0 then fail "engine %s executed 0 plain steps" a.em_name;
+      if a.em_plain_steps <> b.em_plain_steps then
+        fail "plain steps disagree: %s=%d %s=%d" a.em_name a.em_plain_steps b.em_name
+          b.em_plain_steps;
+      if a.em_armed_steps <= 0 then fail "engine %s executed 0 armed steps" a.em_name;
+      if a.em_armed_steps <> b.em_armed_steps then
+        fail "armed steps disagree: %s=%d %s=%d" a.em_name a.em_armed_steps b.em_name
+          b.em_armed_steps
+  | _ -> fail "expected 2 engines, got %d" (List.length engines));
+  let ipath = Filename.temp_file "osr_interp_smoke" ".json" in
+  write_interp_json ipath engines;
+  let icontents = In_channel.with_open_text ipath In_channel.input_all in
+  Sys.remove ipath;
+  (match J.parse icontents with
+  | Error e -> fail "interp bench JSON unparseable: %s" e
+  | Ok json -> (
+      (match J.member "speedup" json with
+      | Some (J.Num s) when s > 0.0 -> ()
+      | _ -> fail "interp bench JSON has no positive \"speedup\"");
+      match (J.member "baseline" json, J.member "engines" json) with
+      | Some (J.Obj _), Some (J.Arr (_ :: _ :: _)) -> ()
+      | _ -> fail "interp bench JSON lacks \"baseline\"/\"engines\""));
+  Printf.printf
+    "bench smoke OK: %d kernels, %d points, %d trace events, %d nonzero counters, engines \
+     agree on %d+%d steps\n"
     (List.length rows)
     (List.fold_left (fun a r -> a + r.sk_points) 0 rows)
     (List.length (Telemetry.trace_events sink))
     (List.length (Telemetry.nonzero_counters ()))
+    (List.hd engines).em_plain_steps (List.hd engines).em_armed_steps
 
 (* ------------------------------------------------------------------ *)
 (* Timing micro-benchmarks                                              *)
@@ -655,7 +875,7 @@ let ablate () =
 let usage () =
   print_endline
     "usage: main.exe [table1|table2|fig7|fig8|table3|table4|fig9|table5|\n\
-    \       perf [--trace-out FILE]|smoke|micro|ablate|all]"
+    \       perf [--trace-out FILE]|interp|smoke|micro|ablate|all]"
 
 let () =
   let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -679,6 +899,7 @@ let () =
   | "fig9" -> fig9 ()
   | "table5" -> table5 ()
   | "perf" -> sweep_perf ?trace_out ()
+  | "interp" -> interp_perf ()
   | "smoke" -> smoke ()
   | "micro" -> micro ()
   | "ablate" -> ablate ()
@@ -693,5 +914,6 @@ let () =
       table5 ();
       ablate ();
       sweep_perf ?trace_out ();
+      interp_perf ();
       micro ()
   | _ -> usage ()

@@ -50,6 +50,21 @@ let args_opt =
     value & opt_all int []
     & info [ "a"; "arg" ] ~docv:"N" ~doc:"Function argument (repeatable; default: the kernel's)")
 
+(* --- engine selection (run / osr-run) -------------------------------- *)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("compiled", `Compiled); ("ref", `Ref) ]) `Compiled
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,compiled) (slot-register bytecode, the default) or $(b,ref) \
+           (the tree-walking reference interpreter).")
+
+let engine_mod : [ `Compiled | `Ref ] -> (module Tinyvm.Engine.S) = function
+  | `Compiled -> (module Tinyvm.Engine.Compiled)
+  | `Ref -> (module Tinyvm.Engine.Reference)
+
 (* --- telemetry flags, shared by the working commands ------------------ *)
 
 type telem_opts = {
@@ -151,12 +166,13 @@ let show_cmd =
 (* --- run ------------------------------------------------------------ *)
 
 let run_cmd =
-  let run (entry : Corpus.Kernels.entry) opt args telem =
+  let run (entry : Corpus.Kernels.entry) opt args engine telem =
     with_telemetry telem @@ fun sink ->
+    let (module E : Tinyvm.Engine.S) = engine_mod engine in
     let r, _ = prepare ~telemetry:sink entry in
     let f = if opt then r.P.fopt else r.P.fbase in
     let args = if args = [] then entry.default_args else args in
-    match Telemetry.with_span sink ~cat:"vm" "interp" (fun () -> Interp.run ~telemetry:sink f ~args) with
+    match Telemetry.with_span sink ~cat:"vm" "interp" (fun () -> E.run ~telemetry:sink f ~args) with
     | Ok o ->
         Printf.printf "ret %d  (%d steps, %d observable events)\n" o.ret o.steps
           (List.length o.events);
@@ -169,7 +185,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a kernel in the TinyVM.")
-    Term.(const run $ bench_arg $ opt_flag $ args_opt $ telem_term)
+    Term.(const run $ bench_arg $ opt_flag $ args_opt $ engine_arg $ telem_term)
 
 (* --- opt (file) ------------------------------------------------------ *)
 
@@ -234,8 +250,10 @@ let osr_run_cmd =
       value & opt int 0
       & info [ "arrival" ] ~docv:"K" ~doc:"Fire on the K-th dynamic arrival (default 0).")
   in
-  let run (entry : Corpus.Kernels.entry) backward args at arrival telem =
+  let run (entry : Corpus.Kernels.entry) backward args at arrival engine telem =
     with_telemetry telem @@ fun sink ->
+    let (module E : Tinyvm.Engine.S) = engine_mod engine in
+    let module Rt = Osrir.Osr_runtime.Make (E) in
     let r, _ = prepare ~telemetry:sink entry in
     let args = if args = [] then entry.default_args else args in
     let src, target, dir =
@@ -257,10 +275,9 @@ let osr_run_cmd =
         Printf.printf "transition #%d -> #%d: %d transfers, |c|=%d, keep={%s}\n" at landing
           (List.length plan.transfers) (R.comp_size plan)
           (String.concat ", " plan.keep);
-        let reference = Interp.run src ~args in
+        let reference = E.run src ~args in
         let osr =
-          Osrir.Osr_runtime.run_transition ~telemetry:sink ~arrival ~src ~args ~at ~target
-            ~landing plan
+          Rt.run_transition ~telemetry:sink ~arrival ~src ~args ~at ~target ~landing plan
         in
         Fmt.pr "reference : %a@." Interp.pp_result reference;
         Fmt.pr "with OSR  : %a@." Interp.pp_result osr;
@@ -268,7 +285,9 @@ let osr_run_cmd =
   in
   Cmd.v
     (Cmd.info "osr-run" ~doc:"Run a kernel, firing an OSR transition at a chosen point.")
-    Term.(const run $ bench_arg $ backward_flag $ args_opt $ at_arg $ arrival_arg $ telem_term)
+    Term.(
+      const run $ bench_arg $ backward_flag $ args_opt $ at_arg $ arrival_arg $ engine_arg
+      $ telem_term)
 
 (* --- debug-study ------------------------------------------------------ *)
 

@@ -12,11 +12,19 @@ open Import
     {- runs [f'to] on the {e same} memory, landing at the target point
        after the entry-block compensation code.}}
 
-    The result of [f'to] is the result of the original activation. *)
+    The result of [f'to] is the result of the original activation.
 
-type site = {
+    The runtime is engine-polymorphic: {!Make} works over any
+    {!Tinyvm.Engine.S} (the reference interpreter or the compiled
+    slot-register engine).  The top level of this module is the
+    reference-engine instantiation — the historical API — and {!Compiled}
+    is the compiled-engine one. *)
+
+module Engine = Tinyvm.Engine
+
+type 'machine gsite = {
   at : int;  (** source instruction id where the transition may fire *)
-  guard : Interp.machine -> bool;  (** user-provided firing condition *)
+  guard : 'machine -> bool;  (** user-provided firing condition *)
   cont : Contfun.t;
 }
 
@@ -35,90 +43,115 @@ let stat_comp_instrs =
   Telemetry.counter ~group:"osr" "comp_instrs"
     ~desc:"compensation instructions executed across fired transitions"
 
-(* Evaluate the parameter sources in the source frame. *)
-let eval_sources (m : Interp.machine) (sources : Ir.value list) : int list =
-  List.map
-    (fun v ->
-      match v with
-      | Ir.Const n -> n
-      | Ir.Undef -> raise (Transfer_failed "undef parameter source")
-      | Ir.Reg r -> (
-          match Hashtbl.find_opt m.frame r with
-          | Some n -> n
-          | None -> raise (Transfer_failed (Printf.sprintf "source register %%%s not in frame" r))))
-    sources
+module Make (E : Engine.S) = struct
+  (* Evaluate the parameter sources in the source frame. *)
+  let eval_sources (m : E.machine) (sources : Ir.value list) : int list =
+    List.map
+      (fun v ->
+        match v with
+        | Ir.Const n -> n
+        | Ir.Undef -> raise (Transfer_failed "undef parameter source")
+        | Ir.Reg r -> (
+            match E.read_reg m r with
+            | Some n -> n
+            | None ->
+                raise (Transfer_failed (Printf.sprintf "source register %%%s not in frame" r))))
+      sources
 
-(** Fire the transition now: build the continuation machine sharing the
-    source machine's memory. *)
-let fire (m : Interp.machine) (site : site) : Interp.machine =
-  let args = eval_sources m site.cont.param_sources in
-  Telemetry.bump m.Interp.tel stat_fired;
-  Telemetry.add m.Interp.tel stat_comp_instrs (List.length (Ir.entry site.cont.fto).body);
-  Telemetry.remark m.Interp.tel ~pass:"osr" ~func:m.Interp.func.Ir.fname ~instr:site.at
-    (fun () ->
-      Printf.sprintf "transition fired at #%d into %s (|entry comp| = %d)" site.at
-        site.cont.fto.Ir.fname
-        (List.length (Ir.entry site.cont.fto).body));
-  (* The continuation reports to the same sink as the machine it replaces. *)
-  Interp.create ~memory:m.memory ~telemetry:m.Interp.tel site.cont.fto ~args
+  (** Fire the transition now: build the continuation machine sharing the
+      source machine's memory. *)
+  let fire (m : E.machine) (site : E.machine gsite) : E.machine =
+    let args = eval_sources m site.cont.param_sources in
+    let tel = E.telemetry m in
+    Telemetry.bump tel stat_fired;
+    Telemetry.add tel stat_comp_instrs (List.length (Ir.entry site.cont.fto).body);
+    Telemetry.remark tel ~pass:"osr" ~func:(E.func m).Ir.fname ~instr:site.at (fun () ->
+        Printf.sprintf "transition fired at #%d into %s (|entry comp| = %d)" site.at
+          site.cont.fto.Ir.fname
+          (List.length (Ir.entry site.cont.fto).body));
+    (* The continuation reports to the same sink as the machine it replaces. *)
+    E.create ~memory:(E.memory m) ~telemetry:tel site.cont.fto ~args
 
-(** Run [machine], transferring control at the first armed point whose
-    guard fires; continue in the continuation to completion.  Returns the
-    final result and whether/where an OSR fired. *)
-let run_with_osr ?(fuel = 10_000_000) (machine : Interp.machine) (sites : site list) :
-    (Interp.outcome, Interp.trap) result * transition_stats option =
-  let find_site id = List.find_opt (fun s -> s.at = id) sites in
-  let rec go budget =
-    if budget = 0 then raise Interp.Out_of_fuel
-    else
-      match Interp.next_instr_id machine with
-      | Some id when (match find_site id with Some s -> s.guard machine | None -> false) ->
-          let site = Option.get (find_site id) in
-          let cont_machine = fire machine site in
-          let result = Interp.run_machine ~fuel:budget cont_machine in
-          let result =
-            (* Events observed before the transition belong to the
-               activation. *)
-            match result with
-            | Ok o ->
-                Ok
-                  {
-                    o with
-                    Interp.events = List.rev_append machine.events o.Interp.events;
-                    steps = machine.steps + o.Interp.steps;
-                  }
-            | Error _ as e -> e
-          in
-          (result, Some { fired_at = id; comp_entry_instrs = List.length (Ir.entry site.cont.fto).body })
-      | Some _ -> (
-          match Interp.step machine with
-          | Running -> go (budget - 1)
-          | Returned ret ->
-              ( Ok { Interp.ret; events = List.rev machine.events; steps = machine.steps },
-                None )
-          | Trapped t -> (Error t, None))
-      | None -> (
-          match machine.status with
-          | Returned ret ->
-              ( Ok { Interp.ret; events = List.rev machine.events; steps = machine.steps },
-                None )
-          | Trapped t -> (Error t, None)
-          | Running -> assert false)
-  in
-  go fuel
+  (** Run [machine], transferring control at the first armed point whose
+      guard fires; continue in the continuation to completion.  Returns the
+      final result and whether/where an OSR fired. *)
+  let run_with_osr ?(fuel = 10_000_000) (machine : E.machine) (sites : E.machine gsite list)
+      : (Interp.outcome, Interp.trap) result * transition_stats option =
+    (* Direct-indexed site table keyed by instruction id: O(1) per step, one
+       guard evaluation per arrival.  Duplicate arming of a point keeps the
+       first site, like the List.find_opt it replaces. *)
+    let n = List.fold_left (fun acc s -> max acc (s.at + 1)) (E.func machine).Ir.next_id sites in
+    let table : E.machine gsite option array = Array.make n None in
+    List.iter
+      (fun s -> if s.at >= 0 && table.(s.at) = None then table.(s.at) <- Some s)
+      sites;
+    let finished () =
+      match E.status machine with
+      | Interp.Returned ret ->
+          ( Ok
+              { Interp.ret; events = List.rev (E.events_rev machine); steps = E.steps machine },
+            None )
+      | Interp.Trapped t -> (Error t, None)
+      | Interp.Running -> assert false
+    in
+    let rec go budget =
+      if budget = 0 then raise Interp.Out_of_fuel
+      else
+        match E.next_instr_id machine with
+        | Some id -> (
+            match (if id >= 0 && id < n then table.(id) else None) with
+            | Some site when site.guard machine ->
+                let cont_machine = fire machine site in
+                let result = E.run_machine ~fuel:budget cont_machine in
+                let result =
+                  (* Events observed before the transition belong to the
+                     activation. *)
+                  match result with
+                  | Ok o ->
+                      Ok
+                        {
+                          o with
+                          Interp.events =
+                            List.rev_append (E.events_rev machine) o.Interp.events;
+                          steps = E.steps machine + o.Interp.steps;
+                        }
+                  | Error _ as e -> e
+                in
+                ( result,
+                  Some
+                    {
+                      fired_at = id;
+                      comp_entry_instrs = List.length (Ir.entry site.cont.fto).body;
+                    } )
+            | Some _ | None -> (
+                match E.step machine with
+                | Interp.Running -> go (budget - 1)
+                | Interp.Returned _ | Interp.Trapped _ -> finished ()))
+        | None -> finished ()
+    in
+    go fuel
 
-(** One-shot helper used by tests and benchmarks: run [src], transition at
-    the [n]-th dynamic arrival (default first) at source point [at] into
-    [target] at [landing] using [plan], and return the final result. *)
-let run_transition ?(fuel = 10_000_000) ?(arrival = 0) ?telemetry ~(src : Ir.func)
-    ~(args : int list) ~(at : int) ~(target : Ir.func) ~(landing : int)
-    (plan : Reconstruct_ir.plan) : (Interp.outcome, Interp.trap) result =
-  let cont = Contfun.generate target ~landing plan in
-  let machine = Interp.create ?telemetry src ~args in
-  let seen = ref 0 in
-  let guard (_ : Interp.machine) =
-    let hit = !seen = arrival in
-    incr seen;
-    hit
-  in
-  fst (run_with_osr ~fuel machine [ { at; guard; cont } ])
+  (** One-shot helper used by tests and benchmarks: run [src], transition at
+      the [n]-th dynamic arrival (default first) at source point [at] into
+      [target] at [landing] using [plan], and return the final result. *)
+  let run_transition ?(fuel = 10_000_000) ?(arrival = 0) ?telemetry ~(src : Ir.func)
+      ~(args : int list) ~(at : int) ~(target : Ir.func) ~(landing : int)
+      (plan : Reconstruct_ir.plan) : (Interp.outcome, Interp.trap) result =
+    let cont = Contfun.generate target ~landing plan in
+    let machine = E.create ?telemetry src ~args in
+    let seen = ref 0 in
+    let guard (_ : E.machine) =
+      let hit = !seen = arrival in
+      incr seen;
+      hit
+    in
+    fst (run_with_osr ~fuel machine [ { at; guard; cont } ])
+end
+
+(* The historical reference-engine API, unchanged for existing callers. *)
+include Make (Engine.Reference)
+
+type site = Interp.machine gsite
+
+(* The compiled-engine runtime. *)
+module Compiled = Make (Engine.Compiled)

@@ -2,11 +2,21 @@ open Import
 
 (** The OSR runtime: arm OSR points on a running TinyVM machine and fire
     transitions through generated continuation functions, OSRKit-style
-    (Section 5.4). *)
+    (Section 5.4).
 
-type site = {
+    Engine-polymorphic: {!Make} instantiates the runtime over any
+    {!Tinyvm.Engine.S}.  The top level of this module is the
+    reference-engine instantiation (the historical API, where machines are
+    {!Tinyvm.Interp.machine}); {!Compiled} runs on the compiled
+    slot-register engine.  Armed points live in a direct-indexed
+    [site option array] keyed by instruction id — O(1) per step, one guard
+    evaluation per arrival. *)
+
+module Engine = Tinyvm.Engine
+
+type 'machine gsite = {
   at : int;  (** source instruction id where the transition may fire *)
-  guard : Interp.machine -> bool;  (** firing condition *)
+  guard : 'machine -> bool;  (** firing condition *)
   cont : Contfun.t;
 }
 
@@ -17,19 +27,47 @@ type transition_stats = {
 
 exception Transfer_failed of string
 
+module Make (E : Engine.S) : sig
+  val fire : E.machine -> E.machine gsite -> E.machine
+  (** Build the continuation machine now, sharing the source machine's
+      memory.
+      @raise Transfer_failed when a parameter source is not in the frame *)
+
+  val run_with_osr :
+    ?fuel:int ->
+    E.machine ->
+    E.machine gsite list ->
+    (Interp.outcome, Interp.trap) result * transition_stats option
+  (** Run the machine, transferring control at the first armed point whose
+      guard fires, and continue in the continuation to completion.  Events
+      observed before the transition belong to the activation. *)
+
+  val run_transition :
+    ?fuel:int ->
+    ?arrival:int ->
+    ?telemetry:Telemetry.sink ->
+    src:Ir.func ->
+    args:int list ->
+    at:int ->
+    target:Ir.func ->
+    landing:int ->
+    Reconstruct_ir.plan ->
+    (Interp.outcome, Interp.trap) result
+  (** One-shot helper: run [src], transition at the [arrival]-th dynamic
+      arrival at [at] into [target] at [landing] using [plan]. *)
+end
+
+(** {1 Reference-engine instantiation (the historical API)} *)
+
+type site = Interp.machine gsite
+
 val fire : Interp.machine -> site -> Interp.machine
-(** Build the continuation machine now, sharing the source machine's
-    memory.
-    @raise Transfer_failed when a parameter source is not in the frame *)
 
 val run_with_osr :
   ?fuel:int ->
   Interp.machine ->
   site list ->
   (Interp.outcome, Interp.trap) result * transition_stats option
-(** Run the machine, transferring control at the first armed point whose
-    guard fires, and continue in the continuation to completion.  Events
-    observed before the transition belong to the activation. *)
 
 val run_transition :
   ?fuel:int ->
@@ -42,5 +80,27 @@ val run_transition :
   landing:int ->
   Reconstruct_ir.plan ->
   (Interp.outcome, Interp.trap) result
-(** One-shot helper: run [src], transition at the [arrival]-th dynamic
-    arrival at [at] into [target] at [landing] using [plan]. *)
+
+(** {1 Compiled-engine instantiation} *)
+
+module Compiled : sig
+  val fire : Engine.Compiled.machine -> Engine.Compiled.machine gsite -> Engine.Compiled.machine
+
+  val run_with_osr :
+    ?fuel:int ->
+    Engine.Compiled.machine ->
+    Engine.Compiled.machine gsite list ->
+    (Interp.outcome, Interp.trap) result * transition_stats option
+
+  val run_transition :
+    ?fuel:int ->
+    ?arrival:int ->
+    ?telemetry:Telemetry.sink ->
+    src:Ir.func ->
+    args:int list ->
+    at:int ->
+    target:Ir.func ->
+    landing:int ->
+    Reconstruct_ir.plan ->
+    (Interp.outcome, Interp.trap) result
+end

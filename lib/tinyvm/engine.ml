@@ -1,0 +1,367 @@
+(** Execution engines for TinyVM.
+
+    {!module-type:S} is the step-wise machine API the OSR layer depends
+    on: create at entry, step one program point at a time, pause anywhere,
+    observe the current point via [next_instr_id], and read/write the frame
+    by register name.  Two implementations:
+
+    - {!Reference}: the original tree-walking {!Interp}, wrapped unchanged;
+    - {!Compiled}: a tight dispatch loop over {!Compile.program} — numbered
+      frame slots, pre-resolved branches, φ-nodes as per-edge parallel
+      moves.
+
+    Both produce byte-identical observables: same [outcome] (return value,
+    event trace, step count), same traps with the same payloads, and the
+    same sequence of [next_instr_id] values, so OSR transitions and the
+    differential tests run on either engine interchangeably. *)
+
+module Ir = Miniir.Ir
+
+(** The step-wise machine API common to both engines. *)
+module type S = sig
+  val name : string
+
+  type machine
+
+  val create :
+    ?memory:Interp.memory -> ?telemetry:Telemetry.sink -> Ir.func -> args:int list -> machine
+  (** Fresh machine at the function's entry.  Shares [memory] when given
+      (how OSR transitions keep the store invariant).
+      @raise Interp.Trap on an argument-count mismatch *)
+
+  val step : machine -> Interp.status
+  (** Execute one instruction or terminator (φ-moves run on the taken
+      edge, within the branch's step). *)
+
+  val status : machine -> Interp.status
+  val next_instr_id : machine -> int option
+  val func : machine -> Ir.func
+  val memory : machine -> Interp.memory
+  val telemetry : machine -> Telemetry.sink
+  val steps : machine -> int
+
+  val events_rev : machine -> Interp.event list
+  (** Observable events so far, most recent first. *)
+
+  val read_reg : machine -> Ir.reg -> int option
+  (** [None] when the register is currently undefined (or unknown). *)
+
+  val write_reg : machine -> Ir.reg -> int -> unit
+  (** @raise Invalid_argument when the engine has no storage for the
+      register *)
+
+  val run_machine : ?fuel:int -> machine -> (Interp.outcome, Interp.trap) result
+  (** @raise Interp.Out_of_fuel past the step budget *)
+
+  val run :
+    ?fuel:int ->
+    ?memory:Interp.memory ->
+    ?telemetry:Telemetry.sink ->
+    Ir.func ->
+    args:int list ->
+    (Interp.outcome, Interp.trap) result
+
+  val run_to_point : ?fuel:int -> ?skip:int -> machine -> point:int -> machine option
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the tree-walking interpreter, unchanged            *)
+(* ------------------------------------------------------------------ *)
+
+module Reference : S with type machine = Interp.machine = struct
+  let name = "ref"
+
+  type machine = Interp.machine
+
+  let create = Interp.create
+  let step = Interp.step
+  let status (m : machine) = m.Interp.status
+  let next_instr_id = Interp.next_instr_id
+  let func (m : machine) = m.Interp.func
+  let memory (m : machine) = m.Interp.memory
+  let telemetry (m : machine) = m.Interp.tel
+  let steps (m : machine) = m.Interp.steps
+  let events_rev (m : machine) = m.Interp.events
+  let read_reg (m : machine) (r : Ir.reg) = Hashtbl.find_opt m.Interp.frame r
+  let write_reg (m : machine) (r : Ir.reg) (v : int) = Hashtbl.replace m.Interp.frame r v
+  let run_machine = Interp.run_machine
+  let run = Interp.run
+  let run_to_point = Interp.run_to_point
+end
+
+(* ------------------------------------------------------------------ *)
+(* Compiled engine: dispatch over the flat program                      *)
+(* ------------------------------------------------------------------ *)
+
+let stat_compiled_steps =
+  Telemetry.counter ~group:"interp" "compiled_steps"
+    ~desc:"instructions executed by the compiled engine"
+
+module Compiled = struct
+  let name = "compiled"
+
+  open Compile
+
+  type machine = {
+    prog : program;
+    frame : int array;
+    defined : bool array;
+    memory : Interp.memory;
+    mutable pc : int;
+    mutable status : Interp.status;
+    mutable steps : int;
+    mutable events : Interp.event list;  (** reversed *)
+    tel : Telemetry.sink;
+    scratch : int array;  (** φ-move read buffer (overlapping edges) *)
+    scratch_def : bool array;
+  }
+
+  let of_program ?memory ?(telemetry = Telemetry.null) (p : program) ~(args : int list) :
+      machine =
+    if List.length args <> List.length p.func.Ir.params then
+      raise (Interp.Trap (Bad_arity p.func.Ir.fname));
+    let frame = Array.make (max 1 p.nslots) 0 in
+    let defined = Array.make (max 1 p.nslots) false in
+    List.iteri
+      (fun i a ->
+        frame.(p.param_slots.(i)) <- a;
+        defined.(p.param_slots.(i)) <- true)
+      args;
+    {
+      prog = p;
+      frame;
+      defined;
+      memory = (match memory with Some m -> m | None -> Interp.fresh_memory ());
+      pc = p.entry_pc;
+      status = Running;
+      steps = 0;
+      events = [];
+      tel = telemetry;
+      scratch = Array.make (max 1 p.max_moves) 0;
+      scratch_def = Array.make (max 1 p.max_moves) false;
+    }
+
+  let create ?memory ?telemetry (f : Ir.func) ~(args : int list) : machine =
+    if List.length args <> List.length f.Ir.params then
+      raise (Interp.Trap (Bad_arity f.Ir.fname));
+    of_program ?memory ?telemetry (compile ?telemetry f) ~args
+
+  let[@inline] read (m : machine) ~(at : int) (o : operand) : int =
+    match o with
+    | Const n -> n
+    | Slot k ->
+        if m.defined.(k) then m.frame.(k) else raise (Interp.Trap (Undef_read at))
+    | Undef -> raise (Interp.Trap (Undef_read at))
+
+  let[@inline] write (m : machine) (dst : int) (v : int) : unit =
+    if dst >= 0 then begin
+      m.frame.(dst) <- v;
+      m.defined.(dst) <- true
+    end
+
+  (* Parallel moves of one edge: the reference reads every φ source first
+     (trapping in φ order), then writes all destinations.  Without
+     source/destination overlap a single in-order pass is equivalent on
+     every non-trapping run (a post-trap frame is unobservable); with
+     overlap — swaps, cycles, permutations — the read phase goes through
+     the scratch buffer. *)
+  let exec_moves (m : machine) (mv : moves) : unit =
+    let n = Array.length mv.mv_dst in
+    if not mv.mv_overlap then
+      for j = 0 to n - 1 do
+        let d = mv.mv_dst.(j) in
+        match mv.mv_src.(j) with
+        | Const v -> write m d v
+        | Slot k ->
+            if m.defined.(k) then write m d m.frame.(k)
+            else raise (Interp.Trap (Undef_read mv.mv_at.(j)))
+        | Undef -> if d >= 0 then m.defined.(d) <- false
+      done
+    else begin
+      for j = 0 to n - 1 do
+        match mv.mv_src.(j) with
+        | Const v ->
+            m.scratch.(j) <- v;
+            m.scratch_def.(j) <- true
+        | Slot k ->
+            if m.defined.(k) then begin
+              m.scratch.(j) <- m.frame.(k);
+              m.scratch_def.(j) <- true
+            end
+            else raise (Interp.Trap (Undef_read mv.mv_at.(j)))
+        | Undef -> m.scratch_def.(j) <- false
+      done;
+      for j = 0 to n - 1 do
+        let d = mv.mv_dst.(j) in
+        if d >= 0 then
+          if m.scratch_def.(j) then begin
+            m.frame.(d) <- m.scratch.(j);
+            m.defined.(d) <- true
+          end
+          else m.defined.(d) <- false
+      done
+    end;
+    if mv.mv_bad >= 0 then raise (Interp.Trap (Undef_read mv.mv_bad))
+
+  let[@inline] take_jump (m : machine) (j : jump) : unit =
+    match j with
+    | Jump e ->
+        exec_moves m e.moves;
+        m.pc <- e.target_pc
+    | Jump_missing l -> raise (Interp.Trap (No_such_block l))
+
+  let exec_intrinsic_args (m : machine) ~(at : int) (ops : operand array) : int list =
+    Array.fold_right (fun o acc -> read m ~at o :: acc) ops []
+
+  let step (m : machine) : Interp.status =
+    match m.status with
+    | (Returned _ | Trapped _) as s -> s
+    | Running -> (
+        m.steps <- m.steps + 1;
+        Telemetry.bump m.tel Interp.stat_steps;
+        Telemetry.bump m.tel stat_compiled_steps;
+        let pc = m.pc in
+        let at = m.prog.ids.(pc) in
+        try
+          (match m.prog.code.(pc) with
+          | Obinop (dst, op, a, b) ->
+              let x = read m ~at a and y = read m ~at b in
+              (match Passes.Fold.eval_binop op x y with
+              | Some v -> write m dst v
+              | None -> raise (Interp.Trap (Division_by_zero at)));
+              m.pc <- pc + 1
+          | Oicmp (dst, op, a, b) ->
+              let x = read m ~at a and y = read m ~at b in
+              write m dst (Passes.Fold.eval_icmp op x y);
+              m.pc <- pc + 1
+          | Oselect (dst, c, t, e) ->
+              let cv = read m ~at c in
+              let tv = read m ~at t and ev = read m ~at e in
+              write m dst (if cv <> 0 then tv else ev);
+              m.pc <- pc + 1
+          | Oalloca (dst, n) ->
+              let addr = m.memory.Interp.brk in
+              m.memory.Interp.brk <- addr + max 1 n;
+              write m dst addr;
+              m.pc <- pc + 1
+          | Oload (dst, a) ->
+              write m dst (Interp.mem_load m.memory (read m ~at a));
+              m.pc <- pc + 1
+          | Ostore (dst, v, a) ->
+              Interp.mem_store m.memory (read m ~at a) (read m ~at v);
+              (* the reference writes 0 to a (malformed) store result *)
+              write m dst 0;
+              m.pc <- pc + 1
+          | Ocall_pure (dst, name, ops) ->
+              let args = exec_intrinsic_args m ~at ops in
+              (match Passes.Fold.eval_intrinsic name args with
+              | Some v -> write m dst v
+              | None -> raise (Interp.Trap (Unknown_intrinsic (name, at))));
+              m.pc <- pc + 1
+          | Ocall_event (dst, name, ops) ->
+              let args = exec_intrinsic_args m ~at ops in
+              Telemetry.bump m.tel Interp.stat_events;
+              m.events <- { Interp.callee = name; arg_values = args } :: m.events;
+              write m dst 0;
+              m.pc <- pc + 1
+          | Ocall_seed (dst, a) ->
+              write m dst (read m ~at a * 48271 land 0xFFFF);
+              m.pc <- pc + 1
+          | Ocall_bad_arity (name, ops) ->
+              ignore (exec_intrinsic_args m ~at ops : int list);
+              raise (Interp.Trap (Bad_arity name))
+          | Ocall_unknown (name, ops) ->
+              ignore (exec_intrinsic_args m ~at ops : int list);
+              raise (Interp.Trap (Unknown_intrinsic (name, at)))
+          | Otrap_undef -> raise (Interp.Trap (Undef_read at))
+          | Obr j -> take_jump m j
+          | Ocbr (c, t, e) -> take_jump m (if read m ~at c <> 0 then t else e)
+          | Oret v ->
+              m.status <- Returned (read m ~at v);
+              Telemetry.bump m.tel Interp.stat_returns
+          | Ounreachable l -> raise (Interp.Trap (Unreachable_reached l)));
+          m.status
+        with Interp.Trap t ->
+          m.status <- Trapped t;
+          Telemetry.bump m.tel Interp.stat_traps;
+          m.status)
+
+  let status (m : machine) = m.status
+
+  let next_instr_id (m : machine) : int option =
+    match m.status with
+    | Returned _ | Trapped _ -> None
+    | Running -> Some m.prog.ids.(m.pc)
+
+  let func (m : machine) = m.prog.func
+  let memory (m : machine) = m.memory
+  let telemetry (m : machine) = m.tel
+  let steps (m : machine) = m.steps
+  let events_rev (m : machine) = m.events
+
+  let read_reg (m : machine) (r : Ir.reg) : int option =
+    match Compile.slot_of_reg m.prog r with
+    | Some k when m.defined.(k) -> Some m.frame.(k)
+    | Some _ | None -> None
+
+  let write_reg (m : machine) (r : Ir.reg) (v : int) : unit =
+    match Compile.slot_of_reg m.prog r with
+    | Some k ->
+        m.frame.(k) <- v;
+        m.defined.(k) <- true
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Engine.Compiled.write_reg: no slot for %%%s in @%s" r
+             m.prog.func.Ir.fname)
+
+  let run_machine ?(fuel = 10_000_000) (m : machine) : (Interp.outcome, Interp.trap) result
+      =
+    let rec go budget =
+      if budget = 0 then raise Interp.Out_of_fuel
+      else
+        match step m with
+        | Running -> go (budget - 1)
+        | Returned ret -> Ok { Interp.ret; events = List.rev m.events; steps = m.steps }
+        | Trapped t -> Error t
+    in
+    go fuel
+
+  let run ?fuel ?memory ?telemetry (f : Ir.func) ~(args : int list) :
+      (Interp.outcome, Interp.trap) result =
+    match create ?memory ?telemetry f ~args with
+    | m -> run_machine ?fuel m
+    | exception Interp.Trap t -> Error t
+
+  let run_to_point ?(fuel = 10_000_000) ?(skip = 0) (m : machine) ~(point : int) :
+      machine option =
+    let rec go budget remaining =
+      if budget = 0 then None
+      else
+        match next_instr_id m with
+        | Some id when id = point ->
+            if remaining = 0 then Some m
+            else begin
+              ignore (step m : Interp.status);
+              go (budget - 1) (remaining - 1)
+            end
+        | Some _ -> (
+            match step m with
+            | Running -> go (budget - 1) remaining
+            | Returned _ | Trapped _ -> None)
+        | None -> None
+    in
+    go fuel skip
+end
+
+(* The Compiled struct must satisfy the engine signature (checked here;
+   the module itself stays unconstrained so [of_program]/[Compile] extras
+   remain visible). *)
+module Compiled_checked : S = Compiled
+
+(** Engines by CLI name. *)
+let of_name : string -> (module S) option = function
+  | "ref" | "reference" -> Some (module Reference)
+  | "compiled" -> Some (module Compiled)
+  | _ -> None
+
+let all : (module S) list = [ (module Reference); (module Compiled) ]

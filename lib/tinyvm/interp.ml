@@ -53,10 +53,16 @@ type machine = {
   frame : frame;
   memory : memory;
   mutable cur_block : Ir.block;
-  mutable idx : int;  (** index into [cur_block.body]; φ-nodes execute on entry *)
+  mutable cur_body : Ir.instr array;
+      (** [cur_block.body] as an array, cached in [bodies] — stepping must
+          not pay [List.nth] per instruction *)
+  mutable idx : int;  (** index into [cur_body]; φ-nodes execute on entry *)
   mutable status : status;
   mutable steps : int;
   mutable events : event list;  (** reversed *)
+  bodies : (string, Ir.instr array) Hashtbl.t;  (** per-block body cache *)
+  blocks : (string, Ir.block) Hashtbl.t;
+      (** label → block, first occurrence (the [find_block] semantics) *)
   tel : Telemetry.sink;
 }
 
@@ -81,6 +87,14 @@ let read (m : machine) ~(at : int) (v : Ir.value) : int =
       match Hashtbl.find_opt m.frame r with
       | Some n -> n
       | None -> raise (Trap (Undef_read at)))
+
+let body_array (m : machine) (b : Ir.block) : Ir.instr array =
+  match Hashtbl.find_opt m.bodies b.label with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list b.body in
+      Hashtbl.add m.bodies b.label a;
+      a
 
 (* Execute the φ-nodes of [target] for an entry from [pred]: all read the
    old frame, then all write (simultaneous assignment). *)
@@ -108,6 +122,7 @@ let enter_block (m : machine) ~(pred : string) (target : Ir.block) : unit =
       | None, _ -> ())
     values;
   m.cur_block <- target;
+  m.cur_body <- body_array m target;
   m.idx <- 0
 
 let exec_intrinsic (m : machine) ~(at : int) (name : string) (args : int list) : int =
@@ -160,8 +175,8 @@ let step (m : machine) : status =
       m.steps <- m.steps + 1;
       Telemetry.bump m.tel stat_steps;
       try
-        if m.idx < List.length m.cur_block.body then begin
-          let i = List.nth m.cur_block.body m.idx in
+        if m.idx < Array.length m.cur_body then begin
+          let i = m.cur_body.(m.idx) in
           (match (exec_rhs m i, i.result) with
           | Some v, Some r -> Hashtbl.replace m.frame r v
           | Some _, None | None, None -> ()
@@ -172,12 +187,12 @@ let step (m : machine) : status =
         else begin
           (match m.cur_block.term with
           | Ir.Br l -> (
-              match Ir.find_block m.func l with
+              match Hashtbl.find_opt m.blocks l with
               | Some b -> enter_block m ~pred:m.cur_block.label b
               | None -> raise (Trap (No_such_block l)))
           | Ir.Cbr (c, t, e) -> (
               let l = if read m ~at:m.cur_block.term_id c <> 0 then t else e in
-              match Ir.find_block m.func l with
+              match Hashtbl.find_opt m.blocks l with
               | Some b -> enter_block m ~pred:m.cur_block.label b
               | None -> raise (Trap (No_such_block l)))
           | Ir.Ret v ->
@@ -197,8 +212,7 @@ let next_instr_id (m : machine) : int option =
   match m.status with
   | Returned _ | Trapped _ -> None
   | Running ->
-      if m.idx < List.length m.cur_block.body then
-        Some (List.nth m.cur_block.body m.idx).id
+      if m.idx < Array.length m.cur_body then Some m.cur_body.(m.idx).id
       else Some m.cur_block.term_id
 
 let create ?(memory : memory option) ?(telemetry = Telemetry.null) (f : Ir.func)
@@ -206,17 +220,29 @@ let create ?(memory : memory option) ?(telemetry = Telemetry.null) (f : Ir.func)
   if List.length args <> List.length f.params then raise (Trap (Bad_arity f.fname));
   let frame = Hashtbl.create 32 in
   List.iter2 (fun p a -> Hashtbl.replace frame p a) f.params args;
-  {
-    func = f;
-    frame;
-    memory = (match memory with Some m -> m | None -> fresh_memory ());
-    cur_block = Ir.entry f;
-    idx = 0;
-    status = Running;
-    steps = 0;
-    events = [];
-    tel = telemetry;
-  }
+  let entry = Ir.entry f in
+  let blocks = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) -> if not (Hashtbl.mem blocks b.label) then Hashtbl.add blocks b.label b)
+    f.blocks;
+  let m =
+    {
+      func = f;
+      frame;
+      memory = (match memory with Some m -> m | None -> fresh_memory ());
+      cur_block = entry;
+      cur_body = [||];
+      idx = 0;
+      status = Running;
+      steps = 0;
+      events = [];
+      bodies = Hashtbl.create 16;
+      blocks;
+      tel = telemetry;
+    }
+  in
+  m.cur_body <- body_array m entry;
+  m
 
 exception Out_of_fuel
 

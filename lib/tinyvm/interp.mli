@@ -43,12 +43,23 @@ type machine = {
   frame : frame;
   memory : memory;
   mutable cur_block : Ir.block;
-  mutable idx : int;  (** index into the current block's body *)
+  mutable cur_body : Ir.instr array;  (** the current block's body, cached as an array *)
+  mutable idx : int;  (** index into [cur_body] *)
   mutable status : status;
   mutable steps : int;
   mutable events : event list;  (** reversed *)
+  bodies : (string, Ir.instr array) Hashtbl.t;  (** per-block body-array cache *)
+  blocks : (string, Ir.block) Hashtbl.t;  (** label → block (first occurrence) *)
   tel : Telemetry.sink;  (** step / event / trap statistics go here *)
 }
+
+val stat_steps : Telemetry.counter
+(** The shared `interp.*` statistics counters; the compiled engine bumps
+    the same ones so `--stats` is engine-independent. *)
+
+val stat_events : Telemetry.counter
+val stat_returns : Telemetry.counter
+val stat_traps : Telemetry.counter
 
 exception Trap of trap
 exception Out_of_fuel

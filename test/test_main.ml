@@ -9,6 +9,7 @@ let () =
       Suite_miniir.suite;
       Suite_passes.suite;
       Suite_osrir.suite;
+      Suite_engine.suite;
       Suite_corpus.suite;
       Suite_debuginfo.suite;
       Suite_report.suite;
