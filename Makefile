@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-smoke perf perf-interp clean
+.PHONY: all build test fmt bench bench-smoke perf perf-interp fuzz clean
 
 all: build
 
@@ -30,6 +30,13 @@ perf:
 # Engine timing (reference vs compiled TinyVM) + BENCH_interp.json.
 perf-interp:
 	dune exec bench/main.exe -- interp
+
+# Large-iteration seeded fault-injection fuzzing over every feasible
+# corpus transition on both engines (a small fixed-seed slice of the same
+# harness runs on every `dune runtest`). Seeds are deterministic: rerun
+# with the printed seed to replay a failure.
+fuzz:
+	dune exec test/fuzz/fuzz_main.exe -- -n 2000 -seed0 1
 
 clean:
 	dune clean

@@ -502,6 +502,10 @@ type interp_workloads = {
   iw_plain : (Ir.func * int list) list;  (** fbase and fopt of every kernel *)
   iw_armed : (Ir.func * int list * int list * Osrir.Contfun.t) list;
       (** fbase, args, source points to arm, generated continuation *)
+  iw_fire : (Ir.func * int list * int * Osrir.Contfun.t) list;
+      (** fbase, args, the feasible point itself, continuation — a site
+          whose guard fires on first arrival, for measuring the
+          frame-validation cost of a committing transition *)
 }
 
 let interp_workloads (kds : kernel_data list) : interp_workloads =
@@ -510,7 +514,7 @@ let interp_workloads (kds : kernel_data list) : interp_workloads =
       (fun kd -> [ (kd.fbase, kd.entry.default_args); (kd.fopt, kd.entry.default_args) ])
       kds
   in
-  let iw_armed =
+  let found =
     List.filter_map
       (fun kd ->
         let ctx = Ctx.make ~fbase:kd.fbase ~fopt:kd.fopt ~mapper:kd.mapper Ctx.Base_to_opt in
@@ -518,15 +522,17 @@ let interp_workloads (kds : kernel_data list) : interp_workloads =
         List.find_map
           (fun (rep : F.point_report) ->
             match (rep.F.landing, rep.F.avail_plan) with
-            | Some landing, Some plan -> Some (landing, plan)
+            | Some landing, Some plan -> Some (rep.F.point, landing, plan)
             | _ -> None)
           s.F.reports
-        |> Option.map (fun (landing, plan) ->
+        |> Option.map (fun (point, landing, plan) ->
                let cont = Osrir.Contfun.generate kd.fopt ~landing plan in
-               (kd.fbase, kd.entry.default_args, Ctx.source_points ctx, cont)))
+               (kd.fbase, kd.entry.default_args, point, Ctx.source_points ctx, cont)))
       kds
   in
-  { iw_plain; iw_armed }
+  let iw_armed = List.map (fun (f, a, _, pts, c) -> (f, a, pts, c)) found in
+  let iw_fire = List.map (fun (f, a, p, _, c) -> (f, a, p, c)) found in
+  { iw_plain; iw_armed; iw_fire }
 
 (* The runners return total executed steps (a correctness cross-check: both
    engines and the seed baseline must agree), and are closed over any
@@ -565,6 +571,23 @@ let armed_runner (module E : Tinyvm.Engine.S) (w : interp_workloads) : unit -> i
         | Error _ -> acc)
       0 prepared
 
+(* Guarded-transition overhead: the same firing workload run with and
+   without frame validation at the landing point isolates the cost of the
+   validation sweep itself; plain execution already carries the only other
+   robustness cost (the per-step fuel branch). *)
+let firing_runner (module E : Tinyvm.Engine.S) (w : interp_workloads) ~(validate : bool) :
+    unit -> int =
+  let module Rt = Osrir.Osr_runtime.Make (E) in
+  fun () ->
+    List.fold_left
+      (fun acc (fbase, args, point, cont) ->
+        let m = E.create fbase ~args in
+        let sites = [ { Osrir.Osr_runtime.at = point; guard = (fun _ -> true); cont } ] in
+        match fst (Rt.run_with_osr ~fuel:50_000_000 ~validate m sites) with
+        | Ok o -> acc + o.Interp.steps
+        | Error _ -> acc)
+      0 w.iw_fire
+
 (** One warm-up run, then best of three. *)
 let best_of_3 (f : unit -> int) : int * float =
   ignore (f () : int);
@@ -582,13 +605,30 @@ type engine_meas = {
   em_plain_wall : float;
   em_armed_steps : int;
   em_armed_wall : float;
+  em_fire_validated_wall : float;
+  em_fire_unvalidated_wall : float;
+  em_fire_steps : int;
 }
 
 let measure_engine (e : (module Tinyvm.Engine.S)) (w : interp_workloads) : engine_meas =
   let (module E) = e in
   let em_plain_steps, em_plain_wall = best_of_3 (plain_runner e w) in
   let em_armed_steps, em_armed_wall = best_of_3 (armed_runner e w) in
-  { em_name = E.name; em_plain_steps; em_plain_wall; em_armed_steps; em_armed_wall }
+  let em_fire_steps, em_fire_validated_wall = best_of_3 (firing_runner e w ~validate:true) in
+  let unval_steps, em_fire_unvalidated_wall = best_of_3 (firing_runner e w ~validate:false) in
+  if unval_steps <> em_fire_steps then
+    Printf.printf "  WARNING: %s firing steps differ with validation off: %d vs %d\n"
+      E.name unval_steps em_fire_steps;
+  {
+    em_name = E.name;
+    em_plain_steps;
+    em_plain_wall;
+    em_armed_steps;
+    em_armed_wall;
+    em_fire_validated_wall;
+    em_fire_unvalidated_wall;
+    em_fire_steps;
+  }
 
 let write_interp_json path (engines : engine_meas list) =
   let oc = open_out path in
@@ -616,6 +656,26 @@ let write_interp_json path (engines : engine_meas list) =
         (if i = List.length engines - 1 then "" else ","))
     engines;
   Printf.fprintf oc "  ],\n";
+  (* Guarded-transition costs: firing workload with/without landing-point
+     frame validation.  With validation disabled the only remaining
+     robustness cost on plain execution is the per-step fuel branch,
+     budgeted at <3% of plain-interp wall (the plain walls above are
+     directly comparable to the pre-PR committed BENCH_interp.json). *)
+  Printf.fprintf oc "  \"robustness\": [\n";
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"firing_validated_wall_s\": %.6f, \
+         \"firing_unvalidated_wall_s\": %.6f, \"firing_steps\": %d, \
+         \"validation_overhead_pct\": %.2f }%s\n"
+        e.em_name e.em_fire_validated_wall e.em_fire_unvalidated_wall e.em_fire_steps
+        (100.0
+        *. (e.em_fire_validated_wall -. e.em_fire_unvalidated_wall)
+        /. e.em_fire_unvalidated_wall)
+        (if i = List.length engines - 1 then "" else ","))
+    engines;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"plain_overhead_budget_pct\": 3.0,\n";
   (* The headline number: compiled-engine plain execution vs the seed
      interpreter. *)
   let compiled = List.find (fun e -> e.em_name = "compiled") engines in
@@ -642,6 +702,15 @@ let interp_perf () =
   row "armed" "seed*" baseline_armed_steps baseline_armed_wall_s baseline_armed_wall_s;
   List.iter
     (fun e -> row "armed" e.em_name e.em_armed_steps e.em_armed_wall baseline_armed_wall_s)
+    engines;
+  List.iter
+    (fun e ->
+      Printf.printf "  %-8s %-10s %10d %12.2f  validation overhead %+.2f%%\n" "fire"
+        e.em_name e.em_fire_steps
+        (1000.0 *. e.em_fire_validated_wall)
+        (100.0
+        *. (e.em_fire_validated_wall -. e.em_fire_unvalidated_wall)
+        /. e.em_fire_unvalidated_wall))
     engines;
   List.iter
     (fun e ->
@@ -718,6 +787,9 @@ let smoke () =
           em_plain_wall = 1.0;
           em_armed_steps = armed_runner e w ();
           em_armed_wall = 1.0;
+          em_fire_validated_wall = 1.0;
+          em_fire_unvalidated_wall = 1.0;
+          em_fire_steps = firing_runner e w ~validate:true ();
         })
       Tinyvm.Engine.all
   in
@@ -730,7 +802,10 @@ let smoke () =
       if a.em_armed_steps <= 0 then fail "engine %s executed 0 armed steps" a.em_name;
       if a.em_armed_steps <> b.em_armed_steps then
         fail "armed steps disagree: %s=%d %s=%d" a.em_name a.em_armed_steps b.em_name
-          b.em_armed_steps
+          b.em_armed_steps;
+      if a.em_fire_steps <> b.em_fire_steps then
+        fail "firing steps disagree: %s=%d %s=%d" a.em_name a.em_fire_steps b.em_name
+          b.em_fire_steps
   | _ -> fail "expected 2 engines, got %d" (List.length engines));
   let ipath = Filename.temp_file "osr_interp_smoke" ".json" in
   write_interp_json ipath engines;

@@ -65,6 +65,26 @@ let engine_mod : [ `Compiled | `Ref ] -> (module Tinyvm.Engine.S) = function
   | `Compiled -> (module Tinyvm.Engine.Compiled)
   | `Ref -> (module Tinyvm.Engine.Reference)
 
+(* --- robustness flags and typed-error exits --------------------------- *)
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Step budget for the VM; exhaustion terminates with a fuel-exhausted error (exit \
+           code 14) instead of looping forever.")
+
+(* One-line diagnostic + the error's documented exit code — never an OCaml
+   backtrace. *)
+let die (e : Tinyvm.Osr_error.t) : 'a =
+  Printf.eprintf "tinyvm: %s\n" (Tinyvm.Osr_error.to_string e);
+  exit (Tinyvm.Osr_error.exit_code e)
+
+let guarded (f : unit -> unit) : unit =
+  try f () with Tinyvm.Osr_error.Error e -> die e
+
 (* --- telemetry flags, shared by the working commands ------------------ *)
 
 type telem_opts = {
@@ -166,13 +186,17 @@ let show_cmd =
 (* --- run ------------------------------------------------------------ *)
 
 let run_cmd =
-  let run (entry : Corpus.Kernels.entry) opt args engine telem =
+  let run (entry : Corpus.Kernels.entry) opt args fuel engine telem =
+    guarded @@ fun () ->
     with_telemetry telem @@ fun sink ->
     let (module E : Tinyvm.Engine.S) = engine_mod engine in
     let r, _ = prepare ~telemetry:sink entry in
     let f = if opt then r.P.fopt else r.P.fbase in
     let args = if args = [] then entry.default_args else args in
-    match Telemetry.with_span sink ~cat:"vm" "interp" (fun () -> E.run ~telemetry:sink f ~args) with
+    match
+      Telemetry.with_span sink ~cat:"vm" "interp" (fun () ->
+          E.run ?fuel ~telemetry:sink f ~args)
+    with
     | Ok o ->
         Printf.printf "ret %d  (%d steps, %d observable events)\n" o.ret o.steps
           (List.length o.events);
@@ -181,11 +205,13 @@ let run_cmd =
             Printf.printf "  @%s(%s)\n" ev.callee
               (String.concat ", " (List.map string_of_int ev.arg_values)))
           o.events
+    | Error (Interp.Fuel_exhausted steps) ->
+        die (Tinyvm.Osr_error.Fuel_exhausted { func = f.Ir.fname; steps })
     | Error t -> Fmt.pr "trap: %a@." Interp.pp_trap t
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a kernel in the TinyVM.")
-    Term.(const run $ bench_arg $ opt_flag $ args_opt $ engine_arg $ telem_term)
+    Term.(const run $ bench_arg $ opt_flag $ args_opt $ fuel_arg $ engine_arg $ telem_term)
 
 (* --- opt (file) ------------------------------------------------------ *)
 
@@ -250,7 +276,31 @@ let osr_run_cmd =
       value & opt int 0
       & info [ "arrival" ] ~docv:"K" ~doc:"Fire on the K-th dynamic arrival (default 0).")
   in
-  let run (entry : Corpus.Kernels.entry) backward args at arrival engine telem =
+  let inject_arg =
+    let kinds =
+      List.map (fun k -> (Osrir.Fault.kind_to_string k, k)) Osrir.Fault.all_kinds
+    in
+    Arg.(
+      value
+      & opt (some (enum kinds)) None
+      & info [ "inject" ] ~docv:"KIND"
+          ~doc:
+            "Deterministically inject one fault kind at the transition: $(b,misfire), \
+             $(b,suppress), $(b,guard-trap), $(b,chi-trap), $(b,poison) or $(b,fuel-cut).  \
+             The run reports the typed abort and exits with its code.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-faults" ] ~docv:"SEED"
+          ~doc:
+            "Seed-driven random fault injection behind the runtime hooks (the fuzzing \
+             mode); every decision replays deterministically for a given $(docv).")
+  in
+  let run (entry : Corpus.Kernels.entry) backward args at arrival fuel inject seed engine
+      telem =
+    guarded @@ fun () ->
     with_telemetry telem @@ fun sink ->
     let (module E : Tinyvm.Engine.S) = engine_mod engine in
     let module Rt = Osrir.Osr_runtime.Make (E) in
@@ -260,34 +310,66 @@ let osr_run_cmd =
       if backward then (r.P.fopt, r.P.fbase, Ctx.Opt_to_base)
       else (r.P.fbase, r.P.fopt, Ctx.Base_to_opt)
     in
+    let hooks =
+      match (inject, seed) with
+      | Some k, s -> Osrir.Fault.hooks ~only:k (Osrir.Fault.make ~seed:(Option.value s ~default:0))
+      | None, Some s -> Osrir.Fault.hooks (Osrir.Fault.make ~seed:s)
+      | None, None -> Osrir.Osr_runtime.no_hooks
+    in
     let ctx = Ctx.make ~fbase:r.P.fbase ~fopt:r.P.fopt ~mapper:r.P.mapper dir in
     (* The full sweep classifies every point (and feeds the reconstruct
        counters); the chosen point's avail plan is then looked up in it. *)
     let s = F.analyze ~telemetry:sink ctx in
     match List.find_opt (fun (rep : F.point_report) -> rep.point = at) s.reports with
-    | None -> Printf.eprintf "#%d is not a source program point\n" at
+    | None -> die (Tinyvm.Osr_error.No_such_point { func = src.Ir.fname; point = at })
     | Some { landing = None; _ } ->
-        Printf.eprintf "point #%d has no landing correspondence\n" at
+        die
+          (Tinyvm.Osr_error.Reconstruct_failed
+             { func = src.Ir.fname; at; what = "no landing correspondence" })
     | Some { landing = Some landing; avail_plan = None; _ } ->
-        Printf.eprintf "reconstruction fails at #%d (landing #%d); run with --remarks for why\n"
-          at landing
-    | Some { landing = Some landing; avail_plan = Some plan; _ } ->
+        die
+          (Tinyvm.Osr_error.Reconstruct_failed
+             {
+               func = src.Ir.fname;
+               at;
+               what =
+                 Printf.sprintf "reconstruction fails (landing #%d); run with --remarks for why"
+                   landing;
+             })
+    | Some { landing = Some landing; avail_plan = Some plan; _ } -> (
         Printf.printf "transition #%d -> #%d: %d transfers, |c|=%d, keep={%s}\n" at landing
           (List.length plan.transfers) (R.comp_size plan)
           (String.concat ", " plan.keep);
-        let reference = E.run src ~args in
-        let osr =
-          Rt.run_transition ~telemetry:sink ~arrival ~src ~args ~at ~target ~landing plan
+        let reference = E.run ?fuel src ~args in
+        let result, osr =
+          Rt.run_transition_full ?fuel ~hooks ~telemetry:sink ~arrival ~src ~args ~at
+            ~target ~landing plan
         in
         Fmt.pr "reference : %a@." Interp.pp_result reference;
-        Fmt.pr "with OSR  : %a@." Interp.pp_result osr;
-        Fmt.pr "observably equal: %b@." (Interp.equal_result reference osr)
+        Fmt.pr "with OSR  : %a@." Interp.pp_result result;
+        (match osr.Osrir.Osr_runtime.transition with
+        | Some t ->
+            Printf.printf "transition committed at #%d (|entry comp| = %d)\n" t.fired_at
+              t.comp_entry_instrs
+        | None -> print_endline "no transition committed");
+        Fmt.pr "observably equal: %b@." (Interp.equal_result reference result);
+        (* Error paths exit with the first error's documented code, after a
+           one-line diagnostic per abort. *)
+        List.iter
+          (fun (a : Osrir.Osr_runtime.abort) ->
+            Printf.eprintf "tinyvm: %s\n" (Tinyvm.Osr_error.to_string a.reason))
+          osr.aborted;
+        match (osr.aborted, result) with
+        | a :: _, _ -> exit (Tinyvm.Osr_error.exit_code a.Osrir.Osr_runtime.reason)
+        | [], Error (Interp.Fuel_exhausted steps) ->
+            die (Tinyvm.Osr_error.Fuel_exhausted { func = src.Ir.fname; steps })
+        | [], _ -> ())
   in
   Cmd.v
     (Cmd.info "osr-run" ~doc:"Run a kernel, firing an OSR transition at a chosen point.")
     Term.(
-      const run $ bench_arg $ backward_flag $ args_opt $ at_arg $ arrival_arg $ engine_arg
-      $ telem_term)
+      const run $ bench_arg $ backward_flag $ args_opt $ at_arg $ arrival_arg $ fuel_arg
+      $ inject_arg $ seed_arg $ engine_arg $ telem_term)
 
 (* --- debug-study ------------------------------------------------------ *)
 

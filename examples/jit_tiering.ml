@@ -72,10 +72,10 @@ let () =
     incr hits;
     !hits > hot_threshold
   in
-  let result, stats =
+  let result, osr =
     Rt.run_with_osr machine [ { Rt.at = site_point; guard; cont } ]
   in
-  (match stats with
+  (match osr.Rt.transition with
   | Some t ->
       Printf.printf "loop got hot after %d arrivals: OSR fired at #%d\n" hot_threshold
         t.fired_at;

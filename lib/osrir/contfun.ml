@@ -28,6 +28,11 @@ type t = {
   param_sources : Ir.value list;
       (** for each parameter of [fto], the {e source-side} value the caller
           must pass (register of the source frame, or constant) *)
+  landing : int;  (** the landing instruction id, unchanged in [fto] *)
+  live_in : Ir.reg list;
+      (** registers of [fto] live into [landing] — the definedness
+          obligation a reconstructed frame must meet before the transition
+          may commit *)
 }
 
 let param_prefix = "osr$"
@@ -74,7 +79,9 @@ let generate ?(promote = true) (target : Ir.func) ~(landing : int)
   let landing_block, _ =
     match Hashtbl.find_opt positions landing with
     | Some p -> p
-    | None -> invalid_arg (Printf.sprintf "Contfun.generate: no instruction #%d" landing)
+    | None ->
+        raise
+          (Osr_error.Error (Osr_error.No_such_point { func = target.fname; point = landing }))
   in
   (* --- 1. Split the landing block. --------------------------------- *)
   let lb = Ir.block_exn f landing_block in
@@ -323,4 +330,16 @@ let generate ?(promote = true) (target : Ir.func) ~(landing : int)
   let param_sources =
     List.map (fun p -> Ir.Reg p) live_params @ List.map (fun y -> Ir.Reg y) params_needed
   in
-  { fto; param_sources }
+  (* The validation obligation: registers of the finished [fto] live into
+     the landing instruction.  The landing id survives splitting, demotion
+     and re-promotion (it is never rewritten), so recompute liveness on the
+     final body; a missing id here is a broken construction invariant. *)
+  let live_in =
+    if not (Hashtbl.mem (Dom.instr_positions fto) landing) then
+      raise
+        (Osr_error.Error
+           (Osr_error.Internal
+              { what = Printf.sprintf "Contfun.generate: landing #%d lost in @%s" landing fto.fname }))
+    else Liveness.live_at (Liveness.compute fto) landing
+  in
+  { fto; param_sources; landing; live_in }

@@ -14,6 +14,11 @@ type t = {
   param_sources : Ir.value list;
       (** for each parameter of [fto], the source-side value the caller
           must pass (a register of the source frame, or a constant) *)
+  landing : int;  (** the landing instruction id, unchanged in [fto] *)
+  live_in : Ir.reg list;
+      (** registers of [fto] live into [landing] — the definedness
+          obligation the runtime validates before committing a
+          transition *)
 }
 
 val param_prefix : string
@@ -23,5 +28,5 @@ val generate : ?promote:bool -> Ir.func -> landing:int -> Reconstruct_ir.plan ->
 (** Generate [f'to] for a transition into the function at instruction
     [landing], running [plan] on entry.  [promote:false] returns the raw
     demoted form (for inspection).
-    @raise Invalid_argument if [landing] is not an instruction of the
-    function *)
+    @raise Osr_error.Error ([No_such_point]) if [landing] is not an
+    instruction of the function *)

@@ -8,3 +8,4 @@ module Loops = Miniir.Loops
 module Verifier = Miniir.Verifier
 module Code_mapper = Passes.Code_mapper
 module Interp = Tinyvm.Interp
+module Osr_error = Tinyvm.Osr_error

@@ -4,6 +4,14 @@ open Import
     transitions through generated continuation functions, OSRKit-style
     (Section 5.4).
 
+    Transitions are {e guarded and transactional}: the continuation frame
+    is built off to the side, the compensation code χ must run trap-free,
+    and the reconstructed frame is validated against the registers live
+    into the landing point before the transition commits.  Any failure
+    rolls the shared memory back to its pre-attempt snapshot, disarms the
+    site, records a typed {!Osr_error.t}, and resumes the {e source} frame
+    exactly where it was — an aborted transition is observably a no-op.
+
     Engine-polymorphic: {!Make} instantiates the runtime over any
     {!Tinyvm.Engine.S}.  The top level of this module is the
     reference-engine instantiation (the historical API, where machines are
@@ -25,26 +33,80 @@ type transition_stats = {
   comp_entry_instrs : int;  (** instructions in f'to's entry block *)
 }
 
-exception Transfer_failed of string
+type abort = { abort_at : int; reason : Osr_error.t }
+(** One aborted (rolled-back) transition attempt. *)
+
+type osr_outcome = {
+  transition : transition_stats option;  (** the committed transition, if any *)
+  aborted : abort list;  (** aborted attempts, in order *)
+}
+
+type hooks = {
+  h_guard_trap : at:int -> Interp.trap option;
+  h_guard_override : at:int -> bool option;
+  h_chi_trap : at:int -> Interp.trap option;
+  h_poison : at:int -> live_in:Ir.reg list -> Ir.reg option;
+  h_fuel_cut : at:int -> int option;
+}
+(** Runtime hooks — the seams the deterministic fault injector ({!Fault})
+    plugs into; every hook defaults to "no interference". *)
+
+val no_hooks : hooks
+
+val stat_fired : Telemetry.counter
+val stat_comp_instrs : Telemetry.counter
+
+val stat_aborted : Telemetry.counter
+(** The [osr.transition.aborted] counter. *)
 
 module Make (E : Engine.S) : sig
-  val fire : E.machine -> E.machine gsite -> E.machine
-  (** Build the continuation machine now, sharing the source machine's
-      memory.
-      @raise Transfer_failed when a parameter source is not in the frame *)
+  val fire :
+    ?hooks:hooks ->
+    ?validate:bool ->
+    E.machine ->
+    E.machine gsite ->
+    (E.machine, Osr_error.t) result
+  (** Attempt the transition transactionally: build the continuation
+      machine on the shared memory, run χ to the landing point, validate
+      the reconstructed frame.  [Ok] is the continuation paused at the
+      landing point, committed.  [Error] means the attempt was rolled
+      back — memory restored, source machine untouched. *)
 
   val run_with_osr :
     ?fuel:int ->
+    ?validate:bool ->
+    ?hooks:hooks ->
     E.machine ->
     E.machine gsite list ->
-    (Interp.outcome, Interp.trap) result * transition_stats option
+    (Interp.outcome, Interp.trap) result * osr_outcome
   (** Run the machine, transferring control at the first armed point whose
-      guard fires, and continue in the continuation to completion.  Events
-      observed before the transition belong to the activation. *)
+      guard fires and whose transition commits; continue in the
+      continuation to completion.  Aborted attempts disarm their site and
+      leave the source run observably untouched.  Events observed before
+      the transition belong to the activation. *)
+
+  val run_transition_full :
+    ?fuel:int ->
+    ?arrival:int ->
+    ?validate:bool ->
+    ?hooks:hooks ->
+    ?telemetry:Telemetry.sink ->
+    src:Ir.func ->
+    args:int list ->
+    at:int ->
+    target:Ir.func ->
+    landing:int ->
+    Reconstruct_ir.plan ->
+    (Interp.outcome, Interp.trap) result * osr_outcome
+  (** One-shot helper: run [src], transition at the [arrival]-th dynamic
+      arrival at [at] into [target] at [landing] using [plan]; also report
+      what the OSR machinery did. *)
 
   val run_transition :
     ?fuel:int ->
     ?arrival:int ->
+    ?validate:bool ->
+    ?hooks:hooks ->
     ?telemetry:Telemetry.sink ->
     src:Ir.func ->
     args:int list ->
@@ -53,25 +115,43 @@ module Make (E : Engine.S) : sig
     landing:int ->
     Reconstruct_ir.plan ->
     (Interp.outcome, Interp.trap) result
-  (** One-shot helper: run [src], transition at the [arrival]-th dynamic
-      arrival at [at] into [target] at [landing] using [plan]. *)
+  (** [run_transition_full] without the OSR outcome (the historical API). *)
 end
 
 (** {1 Reference-engine instantiation (the historical API)} *)
 
 type site = Interp.machine gsite
 
-val fire : Interp.machine -> site -> Interp.machine
+val fire :
+  ?hooks:hooks -> ?validate:bool -> Interp.machine -> site -> (Interp.machine, Osr_error.t) result
 
 val run_with_osr :
   ?fuel:int ->
+  ?validate:bool ->
+  ?hooks:hooks ->
   Interp.machine ->
   site list ->
-  (Interp.outcome, Interp.trap) result * transition_stats option
+  (Interp.outcome, Interp.trap) result * osr_outcome
+
+val run_transition_full :
+  ?fuel:int ->
+  ?arrival:int ->
+  ?validate:bool ->
+  ?hooks:hooks ->
+  ?telemetry:Telemetry.sink ->
+  src:Ir.func ->
+  args:int list ->
+  at:int ->
+  target:Ir.func ->
+  landing:int ->
+  Reconstruct_ir.plan ->
+  (Interp.outcome, Interp.trap) result * osr_outcome
 
 val run_transition :
   ?fuel:int ->
   ?arrival:int ->
+  ?validate:bool ->
+  ?hooks:hooks ->
   ?telemetry:Telemetry.sink ->
   src:Ir.func ->
   args:int list ->
@@ -84,17 +164,40 @@ val run_transition :
 (** {1 Compiled-engine instantiation} *)
 
 module Compiled : sig
-  val fire : Engine.Compiled.machine -> Engine.Compiled.machine gsite -> Engine.Compiled.machine
+  val fire :
+    ?hooks:hooks ->
+    ?validate:bool ->
+    Engine.Compiled.machine ->
+    Engine.Compiled.machine gsite ->
+    (Engine.Compiled.machine, Osr_error.t) result
 
   val run_with_osr :
     ?fuel:int ->
+    ?validate:bool ->
+    ?hooks:hooks ->
     Engine.Compiled.machine ->
     Engine.Compiled.machine gsite list ->
-    (Interp.outcome, Interp.trap) result * transition_stats option
+    (Interp.outcome, Interp.trap) result * osr_outcome
+
+  val run_transition_full :
+    ?fuel:int ->
+    ?arrival:int ->
+    ?validate:bool ->
+    ?hooks:hooks ->
+    ?telemetry:Telemetry.sink ->
+    src:Ir.func ->
+    args:int list ->
+    at:int ->
+    target:Ir.func ->
+    landing:int ->
+    Reconstruct_ir.plan ->
+    (Interp.outcome, Interp.trap) result * osr_outcome
 
   val run_transition :
     ?fuel:int ->
     ?arrival:int ->
+    ?validate:bool ->
+    ?hooks:hooks ->
     ?telemetry:Telemetry.sink ->
     src:Ir.func ->
     args:int list ->

@@ -181,3 +181,39 @@ let counts (m : t) : counts =
     zero_counts m.actions
 
 let actions_in_order (m : t) : action list = List.rev m.actions
+
+(* --- transactional snapshots (pass-pipeline sandboxing) -------------- *)
+
+type snapshot = {
+  s_actions : action list;
+  s_deleted : (int, unit) Hashtbl.t;
+  s_added : (int, unit) Hashtbl.t;
+  s_moved : (int, string * string) Hashtbl.t;
+  s_repl_fwd : (string, Ir.value) Hashtbl.t;
+}
+
+(** Capture the mapper's full state; O(|history|).  The action list is
+    immutable and shared, the index tables are copied. *)
+let snapshot (m : t) : snapshot =
+  {
+    s_actions = m.actions;
+    s_deleted = Hashtbl.copy m.deleted;
+    s_added = Hashtbl.copy m.added;
+    s_moved = Hashtbl.copy m.moved;
+    s_repl_fwd = Hashtbl.copy m.repl_fwd;
+  }
+
+(** Roll the mapper back to [s]: the actions a misbehaving pass recorded
+    after the snapshot disappear from the history and every derived
+    query. *)
+let restore (m : t) (s : snapshot) : unit =
+  m.actions <- s.s_actions;
+  let refill dst src =
+    Hashtbl.reset dst;
+    Hashtbl.iter (Hashtbl.replace dst) src
+  in
+  refill m.deleted s.s_deleted;
+  refill m.added s.s_added;
+  refill m.moved s.s_moved;
+  refill m.repl_fwd s.s_repl_fwd;
+  m.alias_rev <- None

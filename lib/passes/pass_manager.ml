@@ -74,12 +74,32 @@ type apply_result = {
 
 exception Verification_failed of string * string  (** pass name, details *)
 
+(* Sandboxing counter: passes undone after a failed post-pass
+   verification. *)
+let stat_rolled_back =
+  Telemetry.counter ~group:"pass" "rolled_back"
+    ~desc:"passes rolled back after failing post-pass verification"
+
+(* Overwrite [dst]'s mutable body with [src]'s (a pristine clone taken
+   before the pass ran); [fname] and [params] are immutable and no pass
+   changes them. *)
+let restore_func (dst : Ir.func) ~(from_ : Ir.func) : unit =
+  dst.Ir.blocks <- from_.Ir.blocks;
+  dst.Ir.next_id <- from_.Ir.next_id;
+  dst.Ir.next_reg <- from_.Ir.next_reg
+
 (** Clone [f] and optimize the clone with [pipeline], recording actions.
-    The SSA verifier runs after every pass; a failure names the culprit.
+    The SSA verifier runs after every pass.  With [sandbox] (the default),
+    each pass runs transactionally: a verification failure rolls the
+    function {e and} the mapper history back to their pre-pass state,
+    emits a remark, bumps [pass.rolled_back], and the pipeline continues
+    with the remaining passes — a miscompiling pass degrades to a no-op
+    instead of killing the compilation.  With [sandbox:false] a failure
+    raises {!Verification_failed} naming the culprit (the debugging mode).
     With a live [telemetry] sink each pass runs under a span named after
     it (the [-time-passes] rows), the verifier under ["verify"], and the
     mapper/analysis-manager statistics accumulate. *)
-let apply ?(pipeline = standard_pipeline) ?(verify = true)
+let apply ?(pipeline = standard_pipeline) ?(verify = true) ?(sandbox = true)
     ?(telemetry = Telemetry.null) (f : Ir.func) : apply_result =
   let fopt = Ir.clone_func f in
   let mapper = Code_mapper.create ~telemetry () in
@@ -88,10 +108,36 @@ let apply ?(pipeline = standard_pipeline) ?(verify = true)
   List.iter
     (fun (p : pass) ->
       let before = Code_mapper.counts mapper in
+      let pre =
+        if verify && sandbox then
+          Some (Ir.clone_func fopt, Code_mapper.snapshot mapper)
+        else None
+      in
       let changed =
         Telemetry.with_span telemetry ~cat:"pass" p.pname (fun () -> p.run ~mapper ~am fopt)
       in
       if changed then Analysis_manager.invalidate ~preserved:p.preserves am;
+      (if verify then
+         match
+           Telemetry.with_span telemetry ~cat:"verify" "verify" (fun () ->
+               Verifier.verify fopt)
+         with
+         | Ok () -> ()
+         | Error es -> (
+             let details = Fmt.str "%a" (Fmt.list ~sep:Fmt.cut Verifier.pp_error) es in
+             match pre with
+             | Some (pre_ir, pre_mapper) ->
+                 restore_func fopt ~from_:pre_ir;
+                 Code_mapper.restore mapper pre_mapper;
+                 (* The restored IR matches no cached analysis of the broken
+                    one. *)
+                 Analysis_manager.invalidate ~preserved:[] am;
+                 Telemetry.bump telemetry stat_rolled_back;
+                 Telemetry.remark telemetry ~pass:p.pname ~func:fopt.Ir.fname (fun () ->
+                     "pass rolled back: post-pass verification failed: " ^ details)
+             | None -> raise (Verification_failed (p.pname, details))));
+      (* Computed after a possible rollback, so a rolled-back pass reports
+         zero actions. *)
       let after = Code_mapper.counts mapper in
       let delta : Code_mapper.counts =
         {
@@ -102,14 +148,7 @@ let apply ?(pipeline = standard_pipeline) ?(verify = true)
           replace = after.replace - before.replace;
         }
       in
-      per_pass := (p.pname, delta) :: !per_pass;
-      if verify then
-        match Telemetry.with_span telemetry ~cat:"verify" "verify" (fun () -> Verifier.verify fopt) with
-        | Ok () -> ()
-        | Error es ->
-            raise
-              (Verification_failed
-                 (p.pname, Fmt.str "%a" (Fmt.list ~sep:Fmt.cut Verifier.pp_error) es)))
+      per_pass := (p.pname, delta) :: !per_pass)
     pipeline;
   { fbase = f; fopt; mapper; per_pass = List.rev !per_pass }
 

@@ -24,9 +24,16 @@ module type S = sig
   type machine
 
   val create :
-    ?memory:Interp.memory -> ?telemetry:Telemetry.sink -> Ir.func -> args:int list -> machine
+    ?memory:Interp.memory ->
+    ?telemetry:Telemetry.sink ->
+    ?fuel:int ->
+    Ir.func ->
+    args:int list ->
+    machine
   (** Fresh machine at the function's entry.  Shares [memory] when given
-      (how OSR transitions keep the store invariant).
+      (how OSR transitions keep the store invariant).  [fuel] (default
+      unlimited) bounds the machine's lifetime step count; exhaustion traps
+      with [Interp.Fuel_exhausted].
       @raise Interp.Trap on an argument-count mismatch *)
 
   val step : machine -> Interp.status
@@ -40,6 +47,11 @@ module type S = sig
   val telemetry : machine -> Telemetry.sink
   val steps : machine -> int
 
+  val fuel : machine -> int
+  (** Remaining step budget ([max_int] = unlimited). *)
+
+  val set_fuel : machine -> int -> unit
+
   val events_rev : machine -> Interp.event list
   (** Observable events so far, most recent first. *)
 
@@ -47,11 +59,17 @@ module type S = sig
   (** [None] when the register is currently undefined (or unknown). *)
 
   val write_reg : machine -> Ir.reg -> int -> unit
-  (** @raise Invalid_argument when the engine has no storage for the
-      register *)
+  (** @raise Osr_error.Error ([Unknown_register]) when the engine has no
+      storage for the register *)
+
+  val clear_reg : machine -> Ir.reg -> unit
+  (** Make the register read as undefined (fault injection / frame
+      surgery). *)
 
   val run_machine : ?fuel:int -> machine -> (Interp.outcome, Interp.trap) result
-  (** @raise Interp.Out_of_fuel past the step budget *)
+  (** Run to completion; [fuel] (default 10M) further clamps the machine's
+      remaining budget.  Exhaustion is [Error (Fuel_exhausted _)], never an
+      exception. *)
 
   val run :
     ?fuel:int ->
@@ -81,9 +99,12 @@ module Reference : S with type machine = Interp.machine = struct
   let memory (m : machine) = m.Interp.memory
   let telemetry (m : machine) = m.Interp.tel
   let steps (m : machine) = m.Interp.steps
+  let fuel = Interp.fuel_left
+  let set_fuel = Interp.set_fuel
   let events_rev (m : machine) = m.Interp.events
   let read_reg (m : machine) (r : Ir.reg) = Hashtbl.find_opt m.Interp.frame r
   let write_reg (m : machine) (r : Ir.reg) (v : int) = Hashtbl.replace m.Interp.frame r v
+  let clear_reg (m : machine) (r : Ir.reg) = Hashtbl.remove m.Interp.frame r
   let run_machine = Interp.run_machine
   let run = Interp.run
   let run_to_point = Interp.run_to_point
@@ -110,14 +131,17 @@ module Compiled = struct
     mutable pc : int;
     mutable status : Interp.status;
     mutable steps : int;
+    mutable fuel_stop : int;
+        (** absolute [steps] value at which execution traps; [max_int] =
+            unlimited (stop line, not countdown — see [Interp.fuel_stop]) *)
     mutable events : Interp.event list;  (** reversed *)
     tel : Telemetry.sink;
     scratch : int array;  (** φ-move read buffer (overlapping edges) *)
     scratch_def : bool array;
   }
 
-  let of_program ?memory ?(telemetry = Telemetry.null) (p : program) ~(args : int list) :
-      machine =
+  let of_program ?memory ?(telemetry = Telemetry.null) ?(fuel = max_int) (p : program)
+      ~(args : int list) : machine =
     if List.length args <> List.length p.func.Ir.params then
       raise (Interp.Trap (Bad_arity p.func.Ir.fname));
     let frame = Array.make (max 1 p.nslots) 0 in
@@ -135,16 +159,17 @@ module Compiled = struct
       pc = p.entry_pc;
       status = Running;
       steps = 0;
+      fuel_stop = fuel;
       events = [];
       tel = telemetry;
       scratch = Array.make (max 1 p.max_moves) 0;
       scratch_def = Array.make (max 1 p.max_moves) false;
     }
 
-  let create ?memory ?telemetry (f : Ir.func) ~(args : int list) : machine =
+  let create ?memory ?telemetry ?fuel (f : Ir.func) ~(args : int list) : machine =
     if List.length args <> List.length f.Ir.params then
       raise (Interp.Trap (Bad_arity f.Ir.fname));
-    of_program ?memory ?telemetry (compile ?telemetry f) ~args
+    of_program ?memory ?telemetry ?fuel (compile ?telemetry f) ~args
 
   let[@inline] read (m : machine) ~(at : int) (o : operand) : int =
     match o with
@@ -216,6 +241,10 @@ module Compiled = struct
   let step (m : machine) : Interp.status =
     match m.status with
     | (Returned _ | Trapped _) as s -> s
+    | Running when m.steps >= m.fuel_stop ->
+        m.status <- Trapped (Fuel_exhausted m.steps);
+        Telemetry.bump m.tel Interp.stat_traps;
+        m.status
     | Running -> (
         m.steps <- m.steps + 1;
         Telemetry.bump m.tel Interp.stat_steps;
@@ -297,6 +326,11 @@ module Compiled = struct
   let memory (m : machine) = m.memory
   let telemetry (m : machine) = m.tel
   let steps (m : machine) = m.steps
+  let fuel (m : machine) =
+    if m.fuel_stop = max_int then max_int else m.fuel_stop - m.steps
+
+  let set_fuel (m : machine) n =
+    m.fuel_stop <- (if n >= max_int - m.steps then max_int else m.steps + n)
   let events_rev (m : machine) = m.events
 
   let read_reg (m : machine) (r : Ir.reg) : int option =
@@ -310,21 +344,26 @@ module Compiled = struct
         m.frame.(k) <- v;
         m.defined.(k) <- true
     | None ->
-        invalid_arg
-          (Printf.sprintf "Engine.Compiled.write_reg: no slot for %%%s in @%s" r
-             m.prog.func.Ir.fname)
+        raise
+          (Osr_error.Error
+             (Osr_error.Unknown_register { func = m.prog.func.Ir.fname; reg = r }))
+
+  let clear_reg (m : machine) (r : Ir.reg) : unit =
+    match Compile.slot_of_reg m.prog r with
+    | Some k -> m.defined.(k) <- false
+    | None -> ()
 
   let run_machine ?(fuel = 10_000_000) (m : machine) : (Interp.outcome, Interp.trap) result
       =
-    let rec go budget =
-      if budget = 0 then raise Interp.Out_of_fuel
-      else
-        match step m with
-        | Running -> go (budget - 1)
-        | Returned ret -> Ok { Interp.ret; events = List.rev m.events; steps = m.steps }
-        | Trapped t -> Error t
+    if (if m.fuel_stop = max_int then max_int else m.fuel_stop - m.steps) > fuel then
+      m.fuel_stop <- m.steps + fuel;
+    let rec go () =
+      match step m with
+      | Running -> go ()
+      | Returned ret -> Ok { Interp.ret; events = List.rev m.events; steps = m.steps }
+      | Trapped t -> Error t
     in
-    go fuel
+    go ()
 
   let run ?fuel ?memory ?telemetry (f : Ir.func) ~(args : int list) :
       (Interp.outcome, Interp.trap) result =
@@ -363,5 +402,11 @@ let of_name : string -> (module S) option = function
   | "ref" | "reference" -> Some (module Reference)
   | "compiled" -> Some (module Compiled)
   | _ -> None
+
+let of_name_exn (name : string) : (module S) =
+  match of_name name with
+  | Some e -> e
+  | None ->
+      raise (Osr_error.Error (Osr_error.Engine_mismatch { expected = "ref|compiled"; got = name }))
 
 let all : (module S) list = [ (module Reference); (module Compiled) ]

@@ -13,6 +13,7 @@ type trap =
   | Unreachable_reached of string  (** block label *)
   | No_such_block of string
   | Bad_arity of string
+  | Fuel_exhausted of int  (** steps executed when the budget ran out *)
 
 let pp_trap ppf = function
   | Division_by_zero id -> Fmt.pf ppf "division by zero at #%d" id
@@ -21,6 +22,7 @@ let pp_trap ppf = function
   | Unreachable_reached l -> Fmt.pf ppf "reached 'unreachable' in block %s" l
   | No_such_block l -> Fmt.pf ppf "branch to missing block %s" l
   | Bad_arity f -> Fmt.pf ppf "wrong argument count for @%s" f
+  | Fuel_exhausted n -> Fmt.pf ppf "fuel exhausted after %d steps" n
 
 type event = { callee : string; arg_values : int list }
 
@@ -59,6 +61,14 @@ type machine = {
   mutable idx : int;  (** index into [cur_body]; φ-nodes execute on entry *)
   mutable status : status;
   mutable steps : int;
+  mutable fuel_stop : int;
+      (** absolute [steps] value at which the machine traps
+          ([Fuel_exhausted]); [max_int] means unlimited.  Stored as a stop
+          line rather than a countdown so the hot path pays one compare
+          against the already-maintained step counter and no extra store.
+          Exhaustion is a trap, not an exception — adversarial corpus
+          programs terminate like any other failing run.  Use
+          [fuel_left]/[set_fuel] rather than touching this directly. *)
   mutable events : event list;  (** reversed *)
   bodies : (string, Ir.instr array) Hashtbl.t;  (** per-block body cache *)
   blocks : (string, Ir.block) Hashtbl.t;
@@ -171,6 +181,10 @@ let exec_rhs (m : machine) (i : Ir.instr) : int option =
 let step (m : machine) : status =
   match m.status with
   | Returned _ | Trapped _ -> m.status
+  | Running when m.steps >= m.fuel_stop ->
+      m.status <- Trapped (Fuel_exhausted m.steps);
+      Telemetry.bump m.tel stat_traps;
+      m.status
   | Running -> (
       m.steps <- m.steps + 1;
       Telemetry.bump m.tel stat_steps;
@@ -215,8 +229,8 @@ let next_instr_id (m : machine) : int option =
       if m.idx < Array.length m.cur_body then Some m.cur_body.(m.idx).id
       else Some m.cur_block.term_id
 
-let create ?(memory : memory option) ?(telemetry = Telemetry.null) (f : Ir.func)
-    ~(args : int list) : machine =
+let create ?(memory : memory option) ?(telemetry = Telemetry.null) ?(fuel = max_int)
+    (f : Ir.func) ~(args : int list) : machine =
   if List.length args <> List.length f.params then raise (Trap (Bad_arity f.fname));
   let frame = Hashtbl.create 32 in
   List.iter2 (fun p a -> Hashtbl.replace frame p a) f.params args;
@@ -235,6 +249,7 @@ let create ?(memory : memory option) ?(telemetry = Telemetry.null) (f : Ir.func)
       idx = 0;
       status = Running;
       steps = 0;
+      fuel_stop = fuel;
       events = [];
       bodies = Hashtbl.create 16;
       blocks;
@@ -244,19 +259,25 @@ let create ?(memory : memory option) ?(telemetry = Telemetry.null) (f : Ir.func)
   m.cur_body <- body_array m entry;
   m
 
-exception Out_of_fuel
+(** Remaining step budget ([max_int] = unlimited). *)
+let fuel_left (m : machine) : int =
+  if m.fuel_stop = max_int then max_int else m.fuel_stop - m.steps
 
-(** Run a machine to completion. *)
+(** Grant [n] further steps from the machine's current position. *)
+let set_fuel (m : machine) (n : int) : unit =
+  m.fuel_stop <- (if n >= max_int - m.steps then max_int else m.steps + n)
+
+(** Run a machine to completion.  [fuel] further clamps the machine's own
+    budget for this run; exhaustion is a [Fuel_exhausted] trap. *)
 let run_machine ?(fuel = 10_000_000) (m : machine) : (outcome, trap) result =
-  let rec go budget =
-    if budget = 0 then raise Out_of_fuel
-    else
-      match step m with
-      | Running -> go (budget - 1)
-      | Returned ret -> Ok { ret; events = List.rev m.events; steps = m.steps }
-      | Trapped t -> Error t
+  if fuel_left m > fuel then set_fuel m fuel;
+  let rec go () =
+    match step m with
+    | Running -> go ()
+    | Returned ret -> Ok { ret; events = List.rev m.events; steps = m.steps }
+    | Trapped t -> Error t
   in
-  go fuel
+  go ()
 
 (** Convenience one-shot execution. *)
 let run ?fuel ?memory ?telemetry (f : Ir.func) ~(args : int list) : (outcome, trap) result =

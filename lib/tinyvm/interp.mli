@@ -13,6 +13,7 @@ type trap =
   | Unreachable_reached of string  (** block label *)
   | No_such_block of string
   | Bad_arity of string
+  | Fuel_exhausted of int  (** steps executed when the budget ran out *)
 
 val pp_trap : Format.formatter -> trap -> unit
 
@@ -47,6 +48,9 @@ type machine = {
   mutable idx : int;  (** index into [cur_body] *)
   mutable status : status;
   mutable steps : int;
+  mutable fuel_stop : int;
+      (** absolute [steps] value at which execution traps [Fuel_exhausted];
+          [max_int] = unlimited.  Prefer [fuel_left]/[set_fuel]. *)
   mutable events : event list;  (** reversed *)
   bodies : (string, Ir.instr array) Hashtbl.t;  (** per-block body-array cache *)
   blocks : (string, Ir.block) Hashtbl.t;  (** label → block (first occurrence) *)
@@ -62,13 +66,20 @@ val stat_returns : Telemetry.counter
 val stat_traps : Telemetry.counter
 
 exception Trap of trap
-exception Out_of_fuel
 
-val create : ?memory:memory -> ?telemetry:Telemetry.sink -> Ir.func -> args:int list -> machine
+val create :
+  ?memory:memory ->
+  ?telemetry:Telemetry.sink ->
+  ?fuel:int ->
+  Ir.func ->
+  args:int list ->
+  machine
 (** Fresh machine at the function's entry.  Passing [memory] shares state
     with another machine — how OSR transitions keep the store invariant.
     [telemetry] (default {!Telemetry.null}) receives step, event and trap
-    counters.
+    counters.  [fuel] (default unlimited) bounds the number of steps the
+    machine may ever execute; exhaustion traps with [Fuel_exhausted]
+    instead of looping forever.
     @raise Trap on an argument-count mismatch *)
 
 val step : machine -> status
@@ -78,9 +89,16 @@ val next_instr_id : machine -> int option
 (** The machine's current program point: the id of the instruction or
     terminator it will execute next. *)
 
+val fuel_left : machine -> int
+(** Remaining step budget ([max_int] = unlimited). *)
+
+val set_fuel : machine -> int -> unit
+(** Grant [n] further steps from the machine's current position. *)
+
 val run_machine : ?fuel:int -> machine -> (outcome, trap) result
-(** Run to completion.
-    @raise Out_of_fuel past the step budget *)
+(** Run to completion.  [fuel] (default 10M) further clamps the machine's
+    remaining budget; past it the run terminates with
+    [Error (Fuel_exhausted _)] — never an exception. *)
 
 val run :
   ?fuel:int ->

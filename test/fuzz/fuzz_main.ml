@@ -1,0 +1,191 @@
+(** Seeded fault-injection fuzzer (the large-iteration version of the
+    robustness suite; see [make fuzz]).
+
+    For every iteration: pick a corpus kernel, a feasible transition
+    point and a fault seed; run the armed program under injection and
+    check the robustness invariant — the run either recovers with
+    observables byte-equal to the un-faulted differential run, or
+    reports a typed {!Tinyvm.Osr_error.t}; never a crash, never a
+    silently wrong answer.
+
+    {v fuzz_main.exe [-n ITERS] [-seed0 N] [-engine ref|compiled|all] v} *)
+
+module Ir = Miniir.Ir
+module Interp = Tinyvm.Interp
+module Engine = Tinyvm.Engine
+module Osr_error = Tinyvm.Osr_error
+module P = Passes.Pass_manager
+module Ctx = Osrir.Osr_ctx
+module F = Osrir.Feasibility
+module Rt = Osrir.Osr_runtime
+module Fault = Osrir.Fault
+
+let iters = ref 200
+let seed0 = ref 1
+let engine_names = ref "all"
+
+let speclist =
+  [
+    ("-n", Arg.Set_int iters, "ITERS number of fuzzing iterations (default 200)");
+    ("-seed0", Arg.Set_int seed0, "N first fault seed (default 1)");
+    ( "-engine",
+      Arg.Set_string engine_names,
+      "ENGINE ref, compiled or all (default all)" );
+  ]
+
+type case = {
+  bench : string;
+  src : Ir.func;
+  target : Ir.func;
+  args : int list;
+  point : int;
+  landing : int;
+  plan : Osrir.Reconstruct_ir.plan;
+}
+
+(* Every feasible transition of every corpus kernel, both directions. *)
+let cases : case array =
+  Corpus.Kernels.all
+  |> List.concat_map (fun (e : Corpus.Kernels.entry) ->
+         let fbase, _ = Corpus.Dsl.to_fbase e.kernel in
+         let r = P.apply fbase in
+         List.concat_map
+           (fun dir ->
+             let src, target =
+               match dir with
+               | Ctx.Base_to_opt -> (r.P.fbase, r.P.fopt)
+               | Ctx.Opt_to_base -> (r.P.fopt, r.P.fbase)
+             in
+             let ctx =
+               Ctx.make ~fbase:r.P.fbase ~fopt:r.P.fopt ~mapper:r.P.mapper dir
+             in
+             (F.analyze ctx).F.reports
+             |> List.filter_map (fun (rep : F.point_report) ->
+                    match (rep.F.landing, rep.F.avail_plan) with
+                    | Some landing, Some plan ->
+                        Some
+                          {
+                            bench = e.benchmark;
+                            src;
+                            target;
+                            args = e.default_args;
+                            point = rep.F.point;
+                            landing;
+                            plan;
+                          }
+                    | _ -> None))
+           [ Ctx.Base_to_opt; Ctx.Opt_to_base ])
+  |> Array.of_list
+
+let fuel = 20_000_000
+let crashes = ref 0
+let wrong = ref 0
+let committed = ref 0
+let aborted = ref 0
+let typed_errors = ref 0
+let injections = Hashtbl.create 8
+
+let count_injections injector =
+  List.iter
+    (fun (k, _) ->
+      let key = Fault.kind_to_string k in
+      Hashtbl.replace injections key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt injections key)))
+    (Fault.injected injector)
+
+let fail_case c seed fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "FAIL %s at #%d (seed %d): %s\n%!" c.bench c.point seed msg)
+    fmt
+
+let run_case (module E : Engine.S) (c : case) ~(seed : int) ~only =
+  let module M = Rt.Make (E) in
+  let reference = E.run ~fuel c.src ~args:c.args in
+  let injector = Fault.make ~seed in
+  let hooks =
+    match only with Some k -> Fault.hooks ~only:k injector | None -> Fault.hooks injector
+  in
+  match
+    M.run_transition_full ~fuel ~hooks ~arrival:(seed mod 3) ~src:c.src ~args:c.args
+      ~at:c.point ~target:c.target ~landing:c.landing c.plan
+  with
+  | exception Osr_error.Error _ ->
+      (* Typed errors are an acceptable outcome, never a crash. *)
+      incr typed_errors;
+      count_injections injector
+  | exception e ->
+      incr crashes;
+      fail_case c seed "untyped crash: %s" (Printexc.to_string e)
+  | result, osr -> (
+      count_injections injector;
+      if osr.Rt.aborted <> [] then incr aborted;
+      match osr.Rt.transition with
+      | None ->
+          (* Nothing committed: byte-equal recovery, including steps and
+             exact trap payloads. *)
+          let byte_equal =
+            match (reference, result) with
+            | Ok a, Ok b ->
+                a.Interp.ret = b.Interp.ret
+                && a.Interp.steps = b.Interp.steps
+                && List.equal Interp.equal_event a.Interp.events b.Interp.events
+            | Error ta, Error tb -> ta = tb
+            | _ -> false
+          in
+          if not byte_equal then begin
+            incr wrong;
+            fail_case c seed "aborted run diverged: %s vs %s"
+              (Fmt.str "%a" Interp.pp_result reference)
+              (Fmt.str "%a" Interp.pp_result result)
+          end
+      | Some _ -> (
+          incr committed;
+          if not (Interp.equal_result reference result) then
+            let fuel_faulted =
+              List.exists (fun (k, _) -> k = Fault.Fuel_cut) (Fault.injected injector)
+            in
+            match result with
+            | Error (Interp.Fuel_exhausted _) when fuel_faulted -> incr typed_errors
+            | _ ->
+                incr wrong;
+                fail_case c seed "committed run diverged: %s vs %s"
+                  (Fmt.str "%a" Interp.pp_result reference)
+                  (Fmt.str "%a" Interp.pp_result result)))
+
+let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fuzz_main.exe [-n ITERS] [-seed0 N] [-engine ref|compiled|all]";
+  let engines =
+    match !engine_names with
+    | "all" -> Engine.all
+    | name -> [ Engine.of_name_exn name ]
+  in
+  if Array.length cases = 0 then begin
+    prerr_endline "no feasible transition points in the corpus";
+    exit 2
+  end;
+  Printf.printf "fuzzing %d iterations over %d transition cases, seeds from %d\n%!"
+    !iters (Array.length cases) !seed0;
+  let n_kinds = List.length Fault.all_kinds in
+  for i = 0 to !iters - 1 do
+    let seed = !seed0 + i in
+    let c = cases.(seed * 2654435761 land max_int mod Array.length cases) in
+    (* Alternate between pure seeded mode and per-kind deterministic mode
+       so every kind gets exercised even at low iteration counts. *)
+    let only =
+      if i mod 3 = 0 then Some (List.nth Fault.all_kinds (i / 3 mod n_kinds)) else None
+    in
+    List.iter (fun e -> run_case e c ~seed ~only) engines
+  done;
+  Printf.printf "committed: %d  aborted: %d  typed errors: %d\n" !committed !aborted
+    !typed_errors;
+  Printf.printf "injections:";
+  Hashtbl.iter (fun k n -> Printf.printf " %s=%d" k n) injections;
+  print_newline ();
+  if !crashes > 0 || !wrong > 0 then begin
+    Printf.printf "FAILED: %d crash(es), %d wrong answer(s)\n" !crashes !wrong;
+    exit 1
+  end;
+  print_endline "robustness invariant held on every run"

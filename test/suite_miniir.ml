@@ -243,8 +243,8 @@ let prop_generated_terminate =
     (fun (f, args) ->
       match Interp.run ~fuel:1_000_000 f ~args with
       | Ok _ -> true
-      | Error t -> QCheck.Test.fail_reportf "trap: %a" Interp.pp_trap t
-      | exception Interp.Out_of_fuel -> QCheck.Test.fail_report "out of fuel")
+      | Error (Interp.Fuel_exhausted _) -> QCheck.Test.fail_report "out of fuel"
+      | Error t -> QCheck.Test.fail_reportf "trap: %a" Interp.pp_trap t)
 
 let prop_roundtrip =
   QCheck.Test.make ~count:100 ~name:"IR print/parse round-trip behaviour"

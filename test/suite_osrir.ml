@@ -130,14 +130,19 @@ let transitions_correct ?(args_list = Gen_ir.sample_args) (fbase : Ir.func) : bo
               List.for_all
                 (fun args ->
                   let reference = Interp.run ~fuel:1_000_000 src ~args in
-                  let with_osr =
-                    try
-                      Rt.run_transition ~fuel:1_000_000 ~src ~args ~at:rep.point ~target
-                        ~landing plan
-                    with Rt.Transfer_failed msg ->
-                      QCheck.Test.fail_reportf "transfer failed at %d→%d: %s" rep.point
-                        landing msg
+                  let with_osr, osr =
+                    Rt.run_transition_full ~fuel:1_000_000 ~src ~args ~at:rep.point
+                      ~target ~landing plan
                   in
+                  (* A feasible point must not abort: an abort would fall
+                     back to the source run and trivially satisfy the
+                     equality below, hiding a reconstruction bug. *)
+                  (match osr.Rt.aborted with
+                  | [] -> ()
+                  | { reason; _ } :: _ ->
+                      QCheck.Test.fail_reportf "transfer aborted at %d→%d: %s" rep.point
+                        landing
+                        (Tinyvm.Osr_error.to_string reason));
                   Interp.equal_result reference with_osr
                   || QCheck.Test.fail_reportf
                        "OSR at %d→%d diverged: %a vs %a@.src:@.%s@.target:@.%s" rep.point

@@ -14,4 +14,5 @@ let () =
       Suite_debuginfo.suite;
       Suite_report.suite;
       Suite_telemetry.suite;
+      Suite_robustness.suite;
     ]
