@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-smoke perf perf-interp fuzz clean
+.PHONY: all build test fmt bench bench-smoke perf perf-par perf-interp fuzz clean
 
 all: build
 
@@ -26,6 +26,10 @@ bench-smoke:
 # Feasibility-sweep timing + BENCH_feasibility.json + Chrome trace.
 perf:
 	dune exec bench/main.exe -- perf --trace-out trace.json
+
+# Parallel sweep scaling (j = 1, 2, 4, #cores) + BENCH_parallel.json.
+perf-par:
+	dune exec bench/main.exe -- perf-par
 
 # Engine timing (reference vs compiled TinyVM) + BENCH_interp.json.
 perf-interp:

@@ -32,15 +32,29 @@ type kernel_data = {
   bwd : F.summary Lazy.t;  (** fopt → fbase feasibility *)
 }
 
-let build_kernel_data ?(telemetry = Telemetry.null) (entries : Corpus.Kernels.entry list) :
-    kernel_data list =
-  List.map
-    (fun (entry : Corpus.Kernels.entry) ->
-      let fbase, _dbg = Corpus.Dsl.to_fbase entry.kernel in
-      let r =
-        Telemetry.with_span telemetry ~cat:"kernel" entry.benchmark @@ fun () ->
-        P.apply ~telemetry fbase
-      in
+let build_kernel_data ?(telemetry = Telemetry.null) ?(pool : Parallel.Pool.t option)
+    (entries : Corpus.Kernels.entry list) : kernel_data list =
+  let prepared =
+    List.map
+      (fun (e : Corpus.Kernels.entry) -> (e, fst (Corpus.Dsl.to_fbase e.kernel)))
+      entries
+  in
+  let applied =
+    match pool with
+    | Some pool when Parallel.Pool.jobs pool > 1 ->
+        (* One function per task; telemetry forks merge in corpus order
+           inside apply_corpus (the per-kernel spans below are a
+           sequential-only nicety). *)
+        P.apply_corpus ~pool ~telemetry (List.map snd prepared)
+    | _ ->
+        List.map
+          (fun ((entry : Corpus.Kernels.entry), fbase) ->
+            Telemetry.with_span telemetry ~cat:"kernel" entry.benchmark @@ fun () ->
+            P.apply ~telemetry fbase)
+          prepared
+  in
+  List.map2
+    (fun ((entry : Corpus.Kernels.entry), _) (r : P.apply_result) ->
       {
         entry;
         fbase = r.fbase;
@@ -56,7 +70,7 @@ let build_kernel_data ?(telemetry = Telemetry.null) (entries : Corpus.Kernels.en
             (F.analyze ~telemetry
                (Ctx.make ~fbase:r.fbase ~fopt:r.fopt ~mapper:r.mapper Ctx.Opt_to_base));
       })
-    entries
+    prepared applied
 
 let kernel_data : kernel_data list Lazy.t = lazy (build_kernel_data Corpus.Kernels.all)
 
@@ -414,6 +428,17 @@ let time_sweep ?(telemetry = Telemetry.null) (kds : kernel_data list) : sweep_ro
       })
     kds
 
+(** One warm-up run, then best of three. *)
+let best_of_3 (f : unit -> int) : int * float =
+  ignore (f () : int);
+  let time () =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let runs = List.init 3 (fun _ -> time ()) in
+  (fst (List.hd runs), List.fold_left (fun a (_, t) -> min a t) infinity runs)
+
 let sweep_perf ?trace_out () =
   let kds = Lazy.force kernel_data in
   (* One warm-up sweep (corpus construction, allocator), then the timed
@@ -479,6 +504,122 @@ let sweep_perf ?trace_out () =
       Telemetry.write_chrome_trace sink path;
       Printf.printf "  wrote %s (%d trace events)\n" path
         (List.length (Telemetry.trace_events sink)));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep scaling (`perf-par` -> BENCH_parallel.json)           *)
+(* ------------------------------------------------------------------ *)
+
+(** One full fwd+bwd sweep over the corpus through [pool]: same cost model
+    as {!time_sweep} (fresh contexts every run, side analyses built
+    serially in the caller's domain, point classification sharded across
+    the pool).  Returns total points classified. *)
+let pool_sweep ~(pool : Parallel.Pool.t) ?(telemetry = Telemetry.null)
+    (kds : kernel_data list) : int =
+  List.fold_left
+    (fun acc kd ->
+      let fwd_ctx, bwd_ctx =
+        Ctx.make_pair ~fbase:kd.fbase ~fopt:kd.fopt ~mapper:kd.mapper ()
+      in
+      let fwd = F.analyze_par ~telemetry ~pool fwd_ctx in
+      let bwd = F.analyze_par ~telemetry ~pool bwd_ctx in
+      acc + fwd.F.total_points + bwd.F.total_points)
+    0 kds
+
+let write_parallel_json path ~cores ~seq_points ~seq_wall
+    ~(rows : (int * int * float) list) ~ov1 ~ovmax =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc
+    "  \"benchmark\": \"parallel feasibility sweep fwd+bwd over corpus\",\n";
+  Printf.fprintf oc "  \"hardware_cores\": %d,\n" cores;
+  Printf.fprintf oc
+    "  \"note\": \"hardware_cores is Domain.recommended_domain_count on the \
+     measuring machine; pool speedups are bounded above by it\",\n";
+  Printf.fprintf oc
+    "  \"sequential\": { \"wall_s\": %.6f, \"points_per_sec\": %.1f, \
+     \"total_points\": %d },\n"
+    seq_wall
+    (float_of_int seq_points /. seq_wall)
+    seq_points;
+  Printf.fprintf oc "  \"pool\": [\n";
+  List.iteri
+    (fun i (j, pts, wall) ->
+      Printf.fprintf oc
+        "    { \"jobs\": %d, \"wall_s\": %.6f, \"points_per_sec\": %.1f, \
+         \"speedup_vs_seq\": %.3f, \"total_points\": %d }%s\n"
+        j wall
+        (float_of_int pts /. wall)
+        (seq_wall /. wall) pts
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  (match List.find_opt (fun (j, _, _) -> j = 1) rows with
+  | Some (_, _, w1) ->
+      Printf.fprintf oc "  \"j1_overhead_vs_sequential_pct\": %.2f,\n"
+        (100.0 *. (w1 -. seq_wall) /. seq_wall)
+  | None -> ());
+  Printf.fprintf oc
+    "  \"telemetry_live_overhead_pct\": { \"j1\": %.2f, \"jmax\": %.2f },\n" ov1 ovmax;
+  (* Fork/merge cost proper: live-vs-null overhead growth from the inline
+     j=1 path (no forks) to the widest pool (one fork per chunk). *)
+  Printf.fprintf oc "  \"merge_overhead_pct\": %.2f\n" (ovmax -. ov1);
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let parallel_perf () =
+  let kds = Lazy.force kernel_data in
+  let cores = Domain.recommended_domain_count () in
+  (* Sequential reference: the exact sweep loop `perf` times. *)
+  let seq_points, seq_wall =
+    best_of_3 (fun () -> List.fold_left (fun a r -> a + r.sk_points) 0 (time_sweep kds))
+  in
+  let js = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  let rows =
+    List.map
+      (fun j ->
+        Parallel.Pool.with_pool ~jobs:j (fun pool ->
+            let pts, wall = best_of_3 (fun () -> pool_sweep ~pool kds) in
+            (j, pts, wall)))
+      js
+  in
+  (* Telemetry cost of the pooled sweep under a live buffered sink, at the
+     inline j=1 path and at the widest pool; their difference isolates the
+     per-chunk fork + join overhead. *)
+  let live_overhead j =
+    Parallel.Pool.with_pool ~jobs:j (fun pool ->
+        let _, null_wall = best_of_3 (fun () -> pool_sweep ~pool kds) in
+        let _, live_wall =
+          best_of_3 (fun () ->
+              Telemetry.reset_counters ();
+              pool_sweep ~pool ~telemetry:(Telemetry.create ()) kds)
+        in
+        Telemetry.reset_counters ();
+        100.0 *. (live_wall -. null_wall) /. null_wall)
+  in
+  let jmax = List.fold_left max 1 js in
+  let ov1 = live_overhead 1 in
+  let ovmax = live_overhead jmax in
+  print_endline "Parallel feasibility sweep (fwd + bwd over corpus, best of 3):";
+  Printf.printf "  %-12s %10s %12s %14s %9s\n" "config" "points" "wall (ms)" "points/sec"
+    "speedup";
+  Printf.printf "  %-12s %10d %12.2f %14.0f %8s\n" "sequential" seq_points
+    (1000.0 *. seq_wall)
+    (float_of_int seq_points /. seq_wall)
+    "1.00x";
+  List.iter
+    (fun (j, pts, wall) ->
+      Printf.printf "  %-12s %10d %12.2f %14.0f %8.2fx\n"
+        (Printf.sprintf "pool -j %d" j)
+        pts (1000.0 *. wall)
+        (float_of_int pts /. wall)
+        (seq_wall /. wall))
+    rows;
+  Printf.printf "  live-sink overhead: %+.2f%% at j=1, %+.2f%% at j=%d (merge %+.2f%%)\n"
+    ov1 ovmax jmax (ovmax -. ov1);
+  Printf.printf "  hardware cores: %d\n" cores;
+  write_parallel_json "BENCH_parallel.json" ~cores ~seq_points ~seq_wall ~rows ~ov1 ~ovmax;
+  print_endline "  wrote BENCH_parallel.json";
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -587,17 +728,6 @@ let firing_runner (module E : Tinyvm.Engine.S) (w : interp_workloads) ~(validate
         | Ok o -> acc + o.Interp.steps
         | Error _ -> acc)
       0 w.iw_fire
-
-(** One warm-up run, then best of three. *)
-let best_of_3 (f : unit -> int) : int * float =
-  ignore (f () : int);
-  let time () =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
-  let runs = List.init 3 (fun _ -> time ()) in
-  (fst (List.hd runs), List.fold_left (fun a (_, t) -> min a t) infinity runs)
 
 type engine_meas = {
   em_name : string;
@@ -740,6 +870,56 @@ let smoke () =
         exit 1)
       fmt
   in
+  (* Two-domain parallel slice: the pooled paths must match the sequential
+     ones byte-for-byte on a small corpus before the perf numbers mean
+     anything. *)
+  let entries2 = List.filteri (fun i _ -> i < 2) Corpus.Kernels.all in
+  Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+      let squares =
+        Parallel.Pool.run pool ~scratch:(fun () -> ()) (fun () i -> i * i) 64
+      in
+      Array.iteri
+        (fun i v -> if v <> i * i then fail "pool run: slot %d holds %d" i v)
+        squares;
+      let seq_kds = build_kernel_data entries2 in
+      let par_kds = build_kernel_data ~pool entries2 in
+      List.iter2
+        (fun a b ->
+          if Ir.func_to_string a.fopt <> Ir.func_to_string b.fopt then
+            fail "parallel pass pipeline produced different IR for %s" a.entry.benchmark)
+        seq_kds par_kds;
+      List.iter
+        (fun kd ->
+          let mk () =
+            Ctx.make ~fbase:kd.fbase ~fopt:kd.fopt ~mapper:kd.mapper Ctx.Base_to_opt
+          in
+          Telemetry.reset_counters ();
+          let s_seq = F.analyze ~telemetry:(Telemetry.create ()) (mk ()) in
+          let c_seq = Telemetry.counters_json () in
+          Telemetry.reset_counters ();
+          let s_par =
+            F.analyze_par ~telemetry:(Telemetry.create ()) ~pool ~chunk:16 (mk ())
+          in
+          let c_par = Telemetry.counters_json () in
+          if s_seq <> s_par then
+            fail "parallel sweep summary differs from sequential for %s" kd.entry.benchmark;
+          if c_seq <> c_par then
+            fail "merged counters differ from sequential for %s" kd.entry.benchmark)
+        seq_kds);
+  (* The BENCH_parallel.json writer must emit loadable JSON. *)
+  let ppath = Filename.temp_file "osr_par_smoke" ".json" in
+  write_parallel_json ppath ~cores:2 ~seq_points:100 ~seq_wall:1.0
+    ~rows:[ (1, 100, 1.0); (2, 100, 0.9) ]
+    ~ov1:0.5 ~ovmax:1.5;
+  let pcontents = In_channel.with_open_text ppath In_channel.input_all in
+  Sys.remove ppath;
+  let module J = Telemetry.Json in
+  (match J.parse pcontents with
+  | Error e -> fail "parallel bench JSON unparseable: %s" e
+  | Ok json -> (
+      match (J.member "sequential" json, J.member "pool" json) with
+      | Some (J.Obj _), Some (J.Arr (_ :: _)) -> ()
+      | _ -> fail "parallel bench JSON lacks \"sequential\"/\"pool\""));
   let sink = Telemetry.create () in
   Telemetry.reset_counters ();
   let kds =
@@ -950,7 +1130,7 @@ let ablate () =
 let usage () =
   print_endline
     "usage: main.exe [table1|table2|fig7|fig8|table3|table4|fig9|table5|\n\
-    \       perf [--trace-out FILE]|interp|smoke|micro|ablate|all]"
+    \       perf [--trace-out FILE]|perf-par|interp|smoke|micro|ablate|all]"
 
 let () =
   let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -974,6 +1154,7 @@ let () =
   | "fig9" -> fig9 ()
   | "table5" -> table5 ()
   | "perf" -> sweep_perf ?trace_out ()
+  | "perf-par" -> parallel_perf ()
   | "interp" -> interp_perf ()
   | "smoke" -> smoke ()
   | "micro" -> micro ()
@@ -989,6 +1170,7 @@ let () =
       table5 ();
       ablate ();
       sweep_perf ?trace_out ();
+      parallel_perf ();
       interp_perf ();
       micro ()
   | _ -> usage ()

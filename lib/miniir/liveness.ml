@@ -211,6 +211,12 @@ let compute ?(index : Func_index.t option) (f : Ir.func) : t =
     f.blocks;
   { names; ids; live_before; live_out; elems = Hashtbl.create 64 }
 
+(** A shallow copy sharing the (now read-only) liveness results but owning
+    a fresh {!live_at} memo table.  The fixpoint tables are never written
+    after {!compute} returns; the memo is — so a fork per domain makes the
+    analysis safe to query concurrently. *)
+let fork (t : t) : t = { t with elems = Hashtbl.create 64 }
+
 let to_sorted_names (t : t) (bs : Bits.t) : string list =
   let acc = ref [] in
   Bits.iter (fun i -> acc := t.names.(i) :: !acc) bs;

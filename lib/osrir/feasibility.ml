@@ -52,73 +52,71 @@ let stat_keep =
   Telemetry.counter ~group:"reconstruct" "keep_regs"
     ~desc:"registers kept artificially alive across avail plans"
 
-let analyze ?(config = Reconstruct_ir.default_config) ?(telemetry = Telemetry.null)
-    (t : Osr_ctx.t) : summary =
-  let fname = t.Osr_ctx.src.Osr_ctx.func.Ir.fname in
-  let points = Osr_ctx.source_points t in
-  let reports =
-    Telemetry.with_span telemetry ~cat:"analysis" "feasibility" @@ fun () ->
-    List.map
-      (fun p ->
-        Telemetry.bump telemetry stat_points;
-        match Osr_ctx.landing_point t p with
-        | None ->
-            Telemetry.bump telemetry stat_infeasible;
-            Telemetry.remark telemetry ~pass:"reconstruct" ~func:fname ~instr:p (fun () ->
-                Printf.sprintf "bottom at point %d: no landing correspondence" p);
-            { point = p; landing = None; classification = Infeasible; live_plan = None;
-              avail_plan = None }
-        | Some landing -> (
-            let live, avail = Reconstruct_ir.for_point_both ~config t ~src_point:p ~landing in
-            (match (live, avail) with
-            | Ok lp, _ when Reconstruct_ir.plan_is_empty lp && lp.keep = [] ->
-                Telemetry.bump telemetry stat_empty
-            | Ok _, _ -> Telemetry.bump telemetry stat_live
-            | Error _, Ok ap ->
-                Telemetry.bump telemetry stat_avail;
-                Telemetry.add telemetry stat_keep (List.length ap.Reconstruct_ir.keep);
-                Telemetry.remark telemetry ~pass:"reconstruct" ~func:fname ~instr:p
-                  (fun () ->
-                    Printf.sprintf "point %d needs avail: keep {%s} alive" p
-                      (String.concat ", " ap.Reconstruct_ir.keep))
-            | Error x, Error _ ->
-                Telemetry.bump telemetry stat_infeasible;
-                Telemetry.remark telemetry ~pass:"reconstruct" ~func:fname ~instr:p
-                  (fun () ->
-                    Printf.sprintf "bottom at point %d: %%%s unavailable in the source frame"
-                      p x));
-            match (live, avail) with
-            | Ok lp, _ when Reconstruct_ir.plan_is_empty lp && lp.keep = [] ->
-                {
-                  point = p;
-                  landing = Some landing;
-                  classification = Empty;
-                  live_plan = Some lp;
-                  avail_plan = (match avail with Ok ap -> Some ap | Error _ -> None);
-                }
-            | Ok lp, _ ->
-                {
-                  point = p;
-                  landing = Some landing;
-                  classification = With_live lp;
-                  live_plan = Some lp;
-                  avail_plan = (match avail with Ok ap -> Some ap | Error _ -> None);
-                }
-            | Error _, Ok ap ->
-                {
-                  point = p;
-                  landing = Some landing;
-                  classification = With_avail ap;
-                  live_plan = None;
-                  avail_plan = Some ap;
-                }
-            | Error _, Error _ ->
-                { point = p; landing = Some landing; classification = Infeasible;
-                  live_plan = None; avail_plan = None }))
-      points
-  in
-  (* One fold computes every summary counter (the tiers nest: empty ⊆
-     live_ok ⊆ avail_ok). *)
+(* Classify one source point against [t], bumping counters and emitting
+   remarks through [telemetry].  This is the unit of work both the
+   sequential sweep and the parallel chunks run: per-point output order and
+   counter totals are identical whichever driver calls it. *)
+let classify_point ~(config : Reconstruct_ir.config) ~(telemetry : Telemetry.sink)
+    (t : Osr_ctx.t) ~(fname : string) (p : int) : point_report =
+  Telemetry.bump telemetry stat_points;
+  match Osr_ctx.landing_point t p with
+  | None ->
+      Telemetry.bump telemetry stat_infeasible;
+      Telemetry.remark telemetry ~pass:"reconstruct" ~func:fname ~instr:p (fun () ->
+          Printf.sprintf "bottom at point %d: no landing correspondence" p);
+      { point = p; landing = None; classification = Infeasible; live_plan = None;
+        avail_plan = None }
+  | Some landing -> (
+      let live, avail = Reconstruct_ir.for_point_both ~config t ~src_point:p ~landing in
+      (match (live, avail) with
+      | Ok lp, _ when Reconstruct_ir.plan_is_empty lp && lp.keep = [] ->
+          Telemetry.bump telemetry stat_empty
+      | Ok _, _ -> Telemetry.bump telemetry stat_live
+      | Error _, Ok ap ->
+          Telemetry.bump telemetry stat_avail;
+          Telemetry.add telemetry stat_keep (List.length ap.Reconstruct_ir.keep);
+          Telemetry.remark telemetry ~pass:"reconstruct" ~func:fname ~instr:p
+            (fun () ->
+              Printf.sprintf "point %d needs avail: keep {%s} alive" p
+                (String.concat ", " ap.Reconstruct_ir.keep))
+      | Error x, Error _ ->
+          Telemetry.bump telemetry stat_infeasible;
+          Telemetry.remark telemetry ~pass:"reconstruct" ~func:fname ~instr:p
+            (fun () ->
+              Printf.sprintf "bottom at point %d: %%%s unavailable in the source frame"
+                p x));
+      match (live, avail) with
+      | Ok lp, _ when Reconstruct_ir.plan_is_empty lp && lp.keep = [] ->
+          {
+            point = p;
+            landing = Some landing;
+            classification = Empty;
+            live_plan = Some lp;
+            avail_plan = (match avail with Ok ap -> Some ap | Error _ -> None);
+          }
+      | Ok lp, _ ->
+          {
+            point = p;
+            landing = Some landing;
+            classification = With_live lp;
+            live_plan = Some lp;
+            avail_plan = (match avail with Ok ap -> Some ap | Error _ -> None);
+          }
+      | Error _, Ok ap ->
+          {
+            point = p;
+            landing = Some landing;
+            classification = With_avail ap;
+            live_plan = None;
+            avail_plan = Some ap;
+          }
+      | Error _, Error _ ->
+          { point = p; landing = Some landing; classification = Infeasible;
+            live_plan = None; avail_plan = None })
+
+(* One fold computes every summary counter (the tiers nest: empty ⊆
+   live_ok ⊆ avail_ok). *)
+let summarize (reports : point_report list) : summary =
   let total_points, empty, live_ok, avail_ok =
     List.fold_left
       (fun (n, e, l, a) r ->
@@ -130,6 +128,64 @@ let analyze ?(config = Reconstruct_ir.default_config) ?(telemetry = Telemetry.nu
       (0, 0, 0, 0) reports
   in
   { total_points; empty; live_ok; avail_ok; reports }
+
+let analyze ?(config = Reconstruct_ir.default_config) ?(telemetry = Telemetry.null)
+    (t : Osr_ctx.t) : summary =
+  let fname = t.Osr_ctx.src.Osr_ctx.func.Ir.fname in
+  let points = Osr_ctx.source_points t in
+  let reports =
+    Telemetry.with_span telemetry ~cat:"analysis" "feasibility" @@ fun () ->
+    List.map (classify_point ~config ~telemetry t ~fname) points
+  in
+  summarize reports
+
+(** {!analyze} across a domain pool: the point list is cut into [chunk]-
+    sized slices, each slice classified by whichever domain claims it using
+    a domain-private {!Osr_ctx.fork} (fresh memo tables, shared read-only
+    analyses — no locks on the hot path) and a task-private
+    {!Telemetry.fork}.  Slices are concatenated and sub-sinks joined in
+    slice order, so reports, counters and remarks are byte-equal to the
+    sequential sweep's no matter the domain count or schedule — the
+    determinism contract [test/suite_parallel.ml] checks.  With one domain
+    (or one slice) this {e is} the sequential sweep: no forks, no merge,
+    no overhead. *)
+let analyze_par ?(config = Reconstruct_ir.default_config) ?(telemetry = Telemetry.null)
+    ~(pool : Parallel.Pool.t) ?(chunk = 64) (t : Osr_ctx.t) : summary =
+  let fname = t.Osr_ctx.src.Osr_ctx.func.Ir.fname in
+  let points = Array.of_list (Osr_ctx.source_points t) in
+  let n = Array.length points in
+  let chunk = max 1 chunk in
+  let nchunks = (n + chunk - 1) / chunk in
+  let reports =
+    Telemetry.with_span telemetry ~cat:"analysis" "feasibility" @@ fun () ->
+    if Parallel.Pool.jobs pool = 1 || nchunks <= 1 then
+      List.map (classify_point ~config ~telemetry t ~fname) (Array.to_list points)
+    else begin
+      (* Freeze the shared state from the owning domain before any worker
+         can touch it: forks created inside workers then only read. *)
+      ignore (Osr_ctx.fork t : Osr_ctx.t);
+      let sinks = Array.init nchunks (fun _ -> Telemetry.fork telemetry) in
+      let slices =
+        Parallel.Pool.run pool ~chunk:1
+          ~scratch:(fun () -> Osr_ctx.fork t)
+          (fun ctx ci ->
+            let lo = ci * chunk in
+            let hi = min n (lo + chunk) in
+            let sink = sinks.(ci) in
+            (* Ascending order inside the slice: remark emission order must
+               match the sequential sweep's. *)
+            let acc = ref [] in
+            for i = lo to hi - 1 do
+              acc := classify_point ~config ~telemetry:sink ctx ~fname points.(i) :: !acc
+            done;
+            List.rev !acc)
+          nchunks
+      in
+      Array.iter (Telemetry.join telemetry) sinks;
+      List.concat (Array.to_list slices)
+    end
+  in
+  summarize reports
 
 (** Percentages for the Figure 7/8 stacked bars. *)
 let percentages (s : summary) : float * float * float =

@@ -30,6 +30,20 @@ val analyze :
     (group ["reconstruct"]) and remarks explaining infeasible and
     avail-only points. *)
 
+val analyze_par :
+  ?config:Reconstruct_ir.config ->
+  ?telemetry:Telemetry.sink ->
+  pool:Parallel.Pool.t ->
+  ?chunk:int ->
+  Osr_ctx.t ->
+  summary
+(** {!analyze} with the point list sharded into [chunk]-sized slices
+    (default 64) across the pool's domains, each domain querying its own
+    {!Osr_ctx.fork}.  Deterministic-merge contract: reports, telemetry
+    counters and remarks are byte-equal to {!analyze}'s regardless of the
+    domain count.  With a 1-domain pool this degrades to exactly the
+    sequential sweep. *)
+
 val percentages : summary -> float * float * float
 (** (empty, live, avail) percentages for the Figure 7/8 stacked bars. *)
 

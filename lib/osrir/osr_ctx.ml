@@ -177,6 +177,31 @@ let landing_table (t : t) : (int, int) Hashtbl.t =
 let landing_point (t : t) (p : int) : int option =
   Hashtbl.find_opt (landing_table t) p
 
+(** A domain-private view of this context for the parallel sweep: the
+    immutable inputs (functions, side analyses, mapper, landing table) are
+    shared, every memo the per-point queries write is fresh.  The shared
+    pieces are made read-only first — the landing table is forced here and
+    the mapper's alias inverse is primed — so forks can query concurrently
+    without a single lock on the analysis hot path.  The parent must not
+    run pass pipelines over either function while forks are live (contexts
+    are only ever built over functions that no longer change). *)
+let fork (t : t) : t =
+  let landing = landing_table t in
+  Code_mapper.prime_aliases t.mapper;
+  let fork_side (s : side) : side = { s with live = Liveness.fork s.live } in
+  {
+    t with
+    src = fork_side t.src;
+    dst = fork_side t.dst;
+    landing_tbl = Some landing;
+    cand_cache = Hashtbl.create 64;
+    cand_cache_plain = Hashtbl.create 16;
+    last_env = None;
+    reexec_cache = Hashtbl.create 256;
+    load_safe_cache = Hashtbl.create 64;
+    gate_cache = Hashtbl.create 16;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Value correspondence                                                 *)
 (* ------------------------------------------------------------------ *)

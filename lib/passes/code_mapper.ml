@@ -164,6 +164,12 @@ let base_aliases_of (m : t) (r : Ir.reg) : Ir.reg list =
   in
   Option.value ~default:[] (Hashtbl.find_opt rev r) @ [ r ]
 
+(** Force the alias-inverse memo.  Queries on a primed mapper whose
+    replacement table no longer grows are read-only, which is what lets
+    the parallel sweep share one mapper across domains. *)
+let prime_aliases (m : t) : unit =
+  if m.alias_rev = None then ignore (base_aliases_of m "" : Ir.reg list)
+
 (** Count of each primitive action kind, for Table 2. *)
 type counts = { add : int; delete : int; hoist : int; sink : int; replace : int }
 

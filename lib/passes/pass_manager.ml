@@ -152,6 +152,33 @@ let apply ?(pipeline = standard_pipeline) ?(verify = true) ?(sandbox = true)
     pipeline;
   { fbase = f; fopt; mapper; per_pass = List.rev !per_pass }
 
+(** {!apply} over a whole corpus, one function per task across [pool]'s
+    domains.  Each task already owns everything mutable — the clone, its
+    CodeMapper, its {!Analysis_manager} — so the only sharing to manage is
+    telemetry, which each task gets as a private {!Telemetry.fork}, joined
+    back in input order.  Counters, remarks and per-pass span aggregates
+    are therefore byte-equal to a sequential run's; results come back in
+    input order.  Without a pool (or with a 1-domain pool) this is exactly
+    [List.map apply]. *)
+let apply_corpus ?(pool : Parallel.Pool.t option) ?pipeline ?verify ?sandbox
+    ?(telemetry = Telemetry.null) (fs : Ir.func list) : apply_result list =
+  let sequential () = List.map (fun f -> apply ?pipeline ?verify ?sandbox ~telemetry f) fs in
+  match pool with
+  | None -> sequential ()
+  | Some pool when Parallel.Pool.jobs pool = 1 -> sequential ()
+  | Some pool ->
+      let arr = Array.of_list fs in
+      let n = Array.length arr in
+      let sinks = Array.init n (fun _ -> Telemetry.fork telemetry) in
+      let results =
+        Parallel.Pool.run pool ~chunk:1
+          ~scratch:(fun () -> ())
+          (fun () i -> apply ?pipeline ?verify ?sandbox ~telemetry:sinks.(i) arr.(i))
+          n
+      in
+      Array.iter (Telemetry.join telemetry) sinks;
+      Array.to_list results
+
 (** Run mem2reg in place on a freshly built alloca-form function to obtain
     the paper's [fbase] (clang -O0 + mem2reg). *)
 let to_fbase ?(verify = true) (f : Ir.func) : Ir.func =

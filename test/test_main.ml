@@ -14,5 +14,6 @@ let () =
       Suite_debuginfo.suite;
       Suite_report.suite;
       Suite_telemetry.suite;
+      Suite_parallel.suite;
       Suite_robustness.suite;
     ]
